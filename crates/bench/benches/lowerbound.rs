@@ -1,0 +1,28 @@
+//! Benches for E7: the Theorem 4 accounting — the Lemma 4 chain over
+//! tower-sized degrees and the certified weak-2-coloring bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roundelim_superweak::lowerbound::{speedup_rounds, weak2_lower_bound};
+use roundelim_superweak::tower::Tower;
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_theorem4_chain");
+    for h in [8u32, 24, 60, 120] {
+        let delta = Tower::tower_of_twos(h);
+        let rounds = speedup_rounds(&delta, 2, 10_000).last().map(|s| s.round).unwrap_or(0);
+        let bound = weak2_lower_bound(&delta).map(|(t, _)| t);
+        println!(
+            "E7 row: Δ=2↑↑{h}  log*Δ={}  chain={rounds}  certified T≥{:?}  paper=(log*Δ−7)/5={}",
+            delta.log_star(),
+            bound.map(|t| t + 1),
+            (delta.log_star() as i64 - 7).max(0) / 5
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(h), &delta, |b, d| {
+            b.iter(|| speedup_rounds(d, 2, 10_000).last().map(|s| s.round))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

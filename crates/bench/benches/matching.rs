@@ -1,0 +1,47 @@
+//! Benches for E5: the Lemma 2 engine (Hopcroft–Karp + Hall violators +
+//! the dichotomy) at the lower bound's true scale Δ ≥ 2^17.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roundelim_superweak::h1::NodeOutput;
+use roundelim_superweak::lemma2::{lemma2, Lemma2Outcome, Orientation};
+use roundelim_superweak::trit::{TritSeq, TritSet};
+
+fn t(s: &str) -> TritSeq {
+    TritSeq::new(s.bytes().map(|b| b - b'0').collect()).expect("valid trits")
+}
+
+fn pointered_output(delta: usize, exotic: usize) -> (NodeOutput, Vec<Orientation>) {
+    let p_inf = TritSet::new([t("11"), t("22")]);
+    let ex = TritSet::new([t("21")]);
+    let mut per_port = vec![p_inf; delta];
+    for i in 0..exotic {
+        per_port[2 * i] = ex.clone();
+    }
+    let alpha =
+        (0..delta).map(|i| if i % 2 == 0 { Orientation::Out } else { Orientation::In }).collect();
+    (NodeOutput::new(per_port), alpha)
+}
+
+fn bench_lemma2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_lemma2");
+    group.sample_size(10);
+    for delta_shift in [17u32, 18, 19] {
+        let delta = (1usize << delta_shift) + 9;
+        let (q, alpha) = pointered_output(delta, 4);
+        match lemma2(&q, &alpha).expect("hypotheses met") {
+            Lemma2Outcome::Pointers(ps) => println!(
+                "E5 row: Δ=2^{delta_shift}+9  |J*|={} > |N(J*)|={} ✓",
+                ps.j_star.len(),
+                ps.n_j_star.len()
+            ),
+            Lemma2Outcome::NotInH1(_) => println!("E5 row: Δ=2^{delta_shift}+9  violation"),
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &(q, alpha), |b, (q, a)| {
+            b.iter(|| lemma2(q, a).expect("hypotheses met"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lemma2);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benches for E8: the executable Theorem 1 on rings — the cost of both
+//! proof directions (derive A₁ from A, reconstruct A from A₁).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roundelim_core::label::Label;
+use roundelim_core::speedup::full_step;
+use roundelim_problems::coloring::coloring;
+use roundelim_sim::ring::{slowdown, speedup_algorithm, RingClass, WindowAlgorithm};
+
+fn reduction(c: usize, class: &RingClass) -> WindowAlgorithm {
+    WindowAlgorithm::from_fn(1, class, |w| {
+        let (x, y, z) = (w[0], w[1], w[2]);
+        let col = if y == c - 1 { (0..c - 1).find(|&k| k != x && k != z).expect("room") } else { y };
+        (Label::from_index(col), Label::from_index(col))
+    })
+}
+
+fn bench_directions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_ring_theorem1");
+    group.sample_size(10);
+    for palette in [4usize, 5] {
+        let class = RingClass::proper_coloring(palette);
+        let target = coloring(palette - 1, 2).expect("valid");
+        let a = reduction(palette, &class);
+        let step = full_step(&target).expect("no overflow");
+        let a1 = speedup_algorithm(&a, &target, &step, &class).expect("Theorem 1 forward");
+        println!(
+            "E8 row: palette={palette}  target={}-coloring  A:{} windows  A₁:{} windows",
+            palette - 1,
+            a.map.len(),
+            a1.map.len()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("forward", palette),
+            &(&a, &target, &step, &class),
+            |b, (a, t, s, cl)| b.iter(|| speedup_algorithm(a, t, s, cl).expect("forward")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("backward", palette),
+            &(&a1, &target, &step, &class),
+            |b, (a1, t, s, cl)| b.iter(|| slowdown(a1, t, s, cl).expect("backward")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_directions);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benches for E9: the upper-bound algorithms running in the simulator —
+//! Cole–Vishkin ring coloring (round counts must grow like log* n) and
+//! weak 2-coloring on regular graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use roundelim_sim::algos::cole_vishkin::{self, ColeVishkin};
+use roundelim_sim::algos::weak2::{self, WeakTwoColoring};
+use roundelim_sim::generate::{cycle, random_regular};
+use roundelim_sim::runner::{run, NodeInput};
+
+fn ring_inputs(n: usize) -> Vec<NodeInput> {
+    (0..n)
+        .map(|v| NodeInput {
+            // Distinct ids spread over an 8n id space (injective: 7v+3 < 8n).
+            id: Some(v as u64 * 7 + 3),
+            color: None,
+            oriented_away: if v == 0 { vec![true, false] } else { vec![false, true] },
+        })
+        .collect()
+}
+
+fn bench_cv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_cole_vishkin");
+    group.sample_size(10);
+    for n in [256usize, 4096, 65536] {
+        println!("E9 row: Cole–Vishkin n={n}  rounds={}", cole_vishkin::total_rounds(n));
+        let g = cycle(n);
+        let inputs = ring_inputs(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run(&g, &inputs, &ColeVishkin::for_n(n * 8), cole_vishkin::total_rounds(n * 8)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_weak2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_weak2");
+    group.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    for (n, d) in [(64usize, 3usize), (256, 5), (1024, 3)] {
+        let g = random_regular(n, d, 20000, &mut rng).expect("regular graph");
+        let inputs: Vec<NodeInput> =
+            (0..n).map(|v| NodeInput { id: Some(v as u64), ..NodeInput::default() }).collect();
+        println!("E9 row: weak2 n={n} Δ={d}  rounds={}", weak2::total_rounds(n));
+        group.bench_with_input(BenchmarkId::new("n_d", format!("{n}_{d}")), &n, |b, &n| {
+            b.iter(|| run(&g, &inputs, &WeakTwoColoring::for_n(n), weak2::total_rounds(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cv, bench_weak2);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Benches for E1/E2/E3: the automatic speedup transform on the paper's
+//! worked problems. Each bench also prints the table row it regenerates
+//! (the structural result the paper reports), so `cargo bench` doubles as
+//! the table harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roundelim_core::iso::are_isomorphic;
+use roundelim_core::speedup::{full_step, half_step_edge};
+use roundelim_problems::coloring::coloring;
+use roundelim_problems::sinkless::{sinkless_coloring, sinkless_orientation};
+use roundelim_problems::weak::weak_coloring_pointer;
+
+fn bench_sinkless(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_sinkless_full_step");
+    for delta in [3usize, 4, 5, 6, 7] {
+        let sc = sinkless_coloring(delta).expect("valid Δ");
+        // Print the regenerated row once.
+        let step = full_step(&sc).expect("no overflow");
+        let so = sinkless_orientation(delta).expect("valid Δ");
+        println!(
+            "E1 row: Δ={delta}  Π'_1/2≅SO={}  Π'₁≅SC={}",
+            are_isomorphic(&half_step_edge(&sc).unwrap().problem, &so),
+            are_isomorphic(step.problem(), &sc)
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &sc, |b, p| {
+            b.iter(|| full_step(p).expect("no overflow"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_coloring_half_step");
+    for k in [3usize, 4, 5] {
+        let p = coloring(k, 2).expect("valid k");
+        let hs = half_step_edge(&p).expect("no overflow");
+        println!(
+            "E2 row: k={k}  |labels(Π'_1/2)|={} (paper k=4: 14)  |g_1/2|={} (paper k=4: 7)",
+            hs.meanings.len(),
+            hs.problem.edge().len()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(k), &p, |b, p| {
+            b.iter(|| half_step_edge(p).expect("no overflow"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_weak2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_weak2_full_step");
+    group.sample_size(10);
+    for delta in [3usize, 5, 7] {
+        let p = weak_coloring_pointer(2, delta).expect("valid Δ");
+        let step = full_step(&p).expect("no overflow");
+        println!(
+            "E3 row: Δ={delta}  |labels(Π'_1/2)|={} (paper: 7)  |h₁|={} (paper: 9)",
+            half_step_edge(&p).unwrap().meanings.len(),
+            step.problem().node().len()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &p, |b, p| {
+            b.iter(|| full_step(p).expect("no overflow"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sinkless, bench_coloring, bench_weak2);
+criterion_main!(benches);

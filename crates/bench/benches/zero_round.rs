@@ -1,0 +1,32 @@
+//! Benches for the 0-round solvability deciders — the endgame check that
+//! every iterated lower-bound run performs once per step (§2.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roundelim_core::zero_round::{zero_round_oriented, zero_round_pn};
+use roundelim_problems::registry::families;
+
+fn bench_deciders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_round");
+    for f in families() {
+        let p = match f.instantiate(3, 3) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        println!(
+            "zero-round row: {}  plain={}  oriented={}",
+            f.name,
+            zero_round_pn(&p).is_some(),
+            zero_round_oriented(&p).is_some()
+        );
+        group.bench_with_input(BenchmarkId::new("plain", f.name), &p, |b, p| {
+            b.iter(|| zero_round_pn(p))
+        });
+        group.bench_with_input(BenchmarkId::new("oriented", f.name), &p, |b, p| {
+            b.iter(|| zero_round_oriented(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deciders);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Error types for the round-elimination engine.
+//!
+//! Every fallible public operation in this crate returns [`Result`] with
+//! [`Error`]; the engine never panics on malformed user input (panics are
+//! reserved for internal invariant violations, which are bugs).
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by problem construction, parsing, and the speedup engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A label name was used that is not part of the problem's alphabet.
+    UnknownLabel {
+        /// The offending label name.
+        name: String,
+    },
+    /// A label name was interned twice.
+    DuplicateLabel {
+        /// The offending label name.
+        name: String,
+    },
+    /// The alphabet exceeded [`crate::labelset::MAX_LABELS`] labels.
+    ///
+    /// Round elimination can square the alphabet per step; the engine uses
+    /// fixed 256-bit label sets for speed and reports this error instead of
+    /// silently truncating.
+    AlphabetOverflow {
+        /// Number of labels that was requested.
+        requested: usize,
+    },
+    /// A configuration had the wrong number of labels for its constraint.
+    ArityMismatch {
+        /// Arity declared by the constraint.
+        expected: usize,
+        /// Arity of the offending configuration.
+        found: usize,
+    },
+    /// A constraint was declared with arity 0.
+    EmptyArity,
+    /// A problem was constructed whose constraints disagree about something
+    /// structural (e.g. a constraint mentions a label the alphabet lacks).
+    Inconsistent {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// Text-format parse error.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// An operation needed the problem to satisfy a precondition it did not.
+    Unsupported {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// An iteration limit was exhausted before the requested event occurred.
+    LimitExhausted {
+        /// What was being searched for.
+        what: String,
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownLabel { name } => write!(f, "unknown label `{name}`"),
+            Error::DuplicateLabel { name } => write!(f, "duplicate label `{name}`"),
+            Error::AlphabetOverflow { requested } => write!(
+                f,
+                "alphabet overflow: {requested} labels requested, at most {} supported",
+                crate::labelset::MAX_LABELS
+            ),
+            Error::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} labels, found {found}")
+            }
+            Error::EmptyArity => write!(f, "constraint arity must be at least 1"),
+            Error::Inconsistent { reason } => write!(f, "inconsistent problem: {reason}"),
+            Error::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            Error::Unsupported { reason } => write!(f, "unsupported operation: {reason}"),
+            Error::LimitExhausted { what, limit } => {
+                write!(f, "limit of {limit} exhausted while searching for {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_ish() {
+        let errs = [
+            Error::UnknownLabel { name: "X".into() },
+            Error::DuplicateLabel { name: "X".into() },
+            Error::AlphabetOverflow { requested: 999 },
+            Error::ArityMismatch { expected: 2, found: 3 },
+            Error::EmptyArity,
+            Error::Inconsistent { reason: "r".into() },
+            Error::Parse { line: 3, reason: "r".into() },
+            Error::Unsupported { reason: "r".into() },
+            Error::LimitExhausted { what: "fixed point".into(), limit: 5 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,253 @@
+//! Problem isomorphism and fixed-point detection.
+//!
+//! Two problems are *isomorphic* if some bijection of their alphabets maps
+//! one's node and edge constraints exactly onto the other's. Detecting
+//! isomorphism is how the iterated-speedup driver recognizes fixed points
+//! such as the §4.4 loop (sinkless coloring → sinkless orientation →
+//! sinkless coloring), which certifies that the speedup sequence never
+//! reaches a 0-round-solvable problem.
+
+use crate::config::Config;
+use crate::constraint::Constraint;
+use crate::label::Label;
+use crate::problem::Problem;
+
+/// A per-label invariant used to prune the isomorphism search: how often
+/// the label occurs, with which multiplicities, in each constraint.
+fn signature(p: &Problem, l: Label) -> (Vec<(usize, usize)>, Vec<(usize, usize)>) {
+    let sig = |c: &Constraint| -> Vec<(usize, usize)> {
+        // multiset of (multiplicity-of-l-in-config, config-arity-support) over configs containing l
+        let mut v: Vec<(usize, usize)> = c
+            .iter()
+            .filter(|cfg| cfg.contains(l))
+            .map(|cfg| (cfg.multiplicity(l), cfg.support().len()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    (sig(p.node()), sig(p.edge()))
+}
+
+/// Searches for an isomorphism from `a` to `b`.
+///
+/// Returns, if one exists, the label mapping `m` with
+/// `m[l.index()]` = the `b`-label corresponding to `a`-label `l`.
+///
+/// ```
+/// use roundelim_core::problem::Problem;
+/// use roundelim_core::iso::isomorphism;
+/// let p = Problem::parse("name: p\nnode: A A B\nedge: A B").unwrap();
+/// let q = Problem::parse("name: q\nnode: Y X X\nedge: X Y").unwrap();
+/// assert!(isomorphism(&p, &q).is_some());
+/// ```
+pub fn isomorphism(a: &Problem, b: &Problem) -> Option<Vec<Label>> {
+    if a.alphabet().len() != b.alphabet().len()
+        || a.node().len() != b.node().len()
+        || a.edge().len() != b.edge().len()
+        || a.delta() != b.delta()
+        || a.edge().arity() != b.edge().arity()
+    {
+        return None;
+    }
+    let n = a.alphabet().len();
+    // Candidate targets per source label, filtered by signature.
+    let sigs_b: Vec<_> = b.alphabet().labels().map(|l| signature(b, l)).collect();
+    let mut candidates: Vec<Vec<Label>> = Vec::with_capacity(n);
+    for l in a.alphabet().labels() {
+        let sa = signature(a, l);
+        let cands: Vec<Label> = b
+            .alphabet()
+            .labels()
+            .filter(|&m| sigs_b[m.index()] == sa)
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        candidates.push(cands);
+    }
+    // Order source labels by fewest candidates first.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| candidates[i].len());
+
+    let mut mapping: Vec<Option<Label>> = vec![None; n];
+    let mut used = vec![false; n];
+    if assign(a, b, &candidates, &order, 0, &mut mapping, &mut used) {
+        Some(mapping.into_iter().map(|m| m.expect("assignment complete")).collect())
+    } else {
+        None
+    }
+}
+
+fn assign(
+    a: &Problem,
+    b: &Problem,
+    candidates: &[Vec<Label>],
+    order: &[usize],
+    depth: usize,
+    mapping: &mut Vec<Option<Label>>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if depth == order.len() {
+        return check_full(a, b, mapping);
+    }
+    let src = order[depth];
+    for &tgt in &candidates[src] {
+        if used[tgt.index()] {
+            continue;
+        }
+        mapping[src] = Some(tgt);
+        used[tgt.index()] = true;
+        if partial_consistent(a, b, mapping) && assign(a, b, candidates, order, depth + 1, mapping, used) {
+            // Leave the successful assignment in `mapping` for the caller.
+            return true;
+        }
+        mapping[src] = None;
+        used[tgt.index()] = false;
+    }
+    false
+}
+
+/// Quick necessary check on fully-mapped configurations.
+fn partial_consistent(a: &Problem, b: &Problem, mapping: &[Option<Label>]) -> bool {
+    let check = |ca: &Constraint, cb: &Constraint| -> bool {
+        for cfg in ca.iter() {
+            if cfg.labels().iter().all(|l| mapping[l.index()].is_some()) {
+                let mapped = Config::new(
+                    cfg.labels()
+                        .iter()
+                        .map(|l| mapping[l.index()].expect("checked above"))
+                        .collect(),
+                );
+                if !cb.contains(&mapped) {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+    check(a.node(), b.node()) && check(a.edge(), b.edge())
+}
+
+fn check_full(a: &Problem, b: &Problem, mapping: &[Option<Label>]) -> bool {
+    let map_constraint = |c: &Constraint| -> Constraint {
+        c.map_labels(|l| mapping[l.index()].expect("assignment complete"))
+    };
+    &map_constraint(a.node()) == b.node() && &map_constraint(a.edge()) == b.edge()
+}
+
+/// Whether two problems are isomorphic (alphabet renaming only).
+pub fn are_isomorphic(a: &Problem, b: &Problem) -> bool {
+    isomorphism(a, b).is_some()
+}
+
+/// A canonical key for a problem, equal for isomorphic problems.
+///
+/// Computed by trying all signature-respecting renamings and keeping the
+/// lexicographically smallest `(node, edge)` image; intended for the small
+/// alphabets the generic engine produces. Complexity is bounded by the
+/// isomorphism search over the problem against itself.
+pub fn canonical_key(p: &Problem) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let n = p.alphabet().len();
+    // Group labels by signature; permutations only permute within groups.
+    let sigs: Vec<_> = p.alphabet().labels().map(|l| signature(p, l)).collect();
+    let mut best: Option<(Vec<Vec<usize>>, Vec<Vec<usize>>)> = None;
+
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Enumerate permutations respecting signature classes via backtracking.
+    fn rec(
+        p: &Problem,
+        sigs: &[(Vec<(usize, usize)>, Vec<(usize, usize)>)],
+        pos: usize,
+        used: &mut Vec<bool>,
+        perm: &mut Vec<usize>,
+        best: &mut Option<(Vec<Vec<usize>>, Vec<Vec<usize>>)>,
+    ) {
+        let n = sigs.len();
+        if pos == n {
+            let key = render(p, perm);
+            match best {
+                None => *best = Some(key),
+                Some(b) => {
+                    if key < *b {
+                        *b = key;
+                    }
+                }
+            }
+            return;
+        }
+        for tgt in 0..n {
+            if !used[tgt] && sigs[pos] == sigs[tgt] {
+                used[tgt] = true;
+                perm[pos] = tgt;
+                rec(p, sigs, pos + 1, used, perm, best);
+                used[tgt] = false;
+            }
+        }
+    }
+    fn render(p: &Problem, perm: &[usize]) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        let conv = |c: &Constraint| -> Vec<Vec<usize>> {
+            let mut v: Vec<Vec<usize>> = c
+                .iter()
+                .map(|cfg| {
+                    let mut labels: Vec<usize> = cfg.labels().iter().map(|l| perm[l.index()]).collect();
+                    labels.sort_unstable();
+                    labels
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        (conv(p.node()), conv(p.edge()))
+    }
+    let mut used = vec![false; n];
+    rec(p, &sigs, 0, &mut used, &mut perm, &mut best);
+    best.expect("at least the identity permutation is signature-respecting")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renamed_problems_are_isomorphic() {
+        let p = Problem::parse("name: p\nnode: 1 0 0\nedge: 0 0 | 0 1").unwrap();
+        let q = Problem::parse("name: q\nnode: B A A\nedge: A A | B A").unwrap();
+        let m = isomorphism(&p, &q).unwrap();
+        // 0 must map to A, 1 to B (signatures differ).
+        let zero = p.alphabet().require("0").unwrap();
+        assert_eq!(q.alphabet().name(m[zero.index()]), "A");
+        assert!(are_isomorphic(&q, &p));
+    }
+
+    #[test]
+    fn different_structure_not_isomorphic() {
+        let p = Problem::parse("name: p\nnode: 1 0 0\nedge: 0 0 | 0 1").unwrap();
+        let q = Problem::parse("name: q\nnode: B A A\nedge: A A | B B").unwrap();
+        assert!(!are_isomorphic(&p, &q));
+        let r = Problem::parse("name: r\nnode: 1 0\nedge: 0 0 | 0 1").unwrap();
+        assert!(!are_isomorphic(&p, &r)); // Δ differs
+    }
+
+    #[test]
+    fn symmetric_labels_need_search() {
+        // 3-coloring: all three labels have identical signatures.
+        let p = Problem::parse("name: p\nnode: 1 1 | 2 2 | 3 3\nedge: 1 2 | 1 3 | 2 3").unwrap();
+        let q = Problem::parse("name: q\nnode: c c | a a | b b\nedge: b a | c a | b c").unwrap();
+        assert!(are_isomorphic(&p, &q));
+    }
+
+    #[test]
+    fn canonical_key_invariant_under_renaming() {
+        let p = Problem::parse("name: p\nnode: 1 0 0\nedge: 0 0 | 0 1").unwrap();
+        let q = Problem::parse("name: q\nnode: B A A\nedge: A A | B A").unwrap();
+        assert_eq!(canonical_key(&p), canonical_key(&q));
+        let r = Problem::parse("name: r\nnode: B A A\nedge: A A | B B").unwrap();
+        assert_ne!(canonical_key(&p), canonical_key(&r));
+    }
+
+    #[test]
+    fn iso_is_reflexive() {
+        let p = Problem::parse("name: p\nnode: 1 1 | 2 2 | 3 3\nedge: 1 2 | 1 3 | 2 3").unwrap();
+        assert!(are_isomorphic(&p, &p));
+    }
+}

@@ -1,0 +1,206 @@
+//! The *existential* half of a speedup step.
+//!
+//! After the universal half has produced a new alphabet of set-labels
+//! `S₁, …, S_m` (each denoting a set of old labels), the sibling constraint
+//! `D` of arity `s` is transformed existentially: a multiset
+//! `(Y₁, …, Y_s)` of new labels is allowed iff *some* choice of old labels
+//! `y_i ∈ meaning(Y_i)` is a configuration of `D` — Property 2 (for
+//! `h_{1/2}`) and Property 3 (for `g₁`) of the paper.
+
+use crate::config::Config;
+use crate::constraint::Constraint;
+use crate::label::Label;
+use crate::labelset::LabelSet;
+
+/// Whether some choice `y_i ∈ sets[i]` forms a configuration of `d`.
+///
+/// Implemented by scanning `d`'s configurations and testing whether the
+/// configuration's labels can be matched bijectively to positions whose set
+/// contains them (a small bipartite matching, cheap for the arities that
+/// occur in practice).
+pub fn exists_choice(sets: &[LabelSet], d: &Constraint) -> bool {
+    if sets.len() != d.arity() {
+        return false;
+    }
+    d.iter().any(|cfg| config_matches(cfg.labels(), sets))
+}
+
+/// Whether the multiset `labels` can be assigned bijectively to positions
+/// such that `labels[i] ∈ sets[assign(i)]`.
+pub fn config_matches(labels: &[Label], sets: &[LabelSet]) -> bool {
+    debug_assert_eq!(labels.len(), sets.len());
+    let n = labels.len();
+    let mut used = vec![false; n];
+    fn assign(labels: &[Label], sets: &[LabelSet], used: &mut [bool], i: usize) -> bool {
+        if i == labels.len() {
+            return true;
+        }
+        // Skip over equal labels deterministically: positions are
+        // interchangeable for equal labels, so only try each distinct set
+        // once per label value.
+        for j in 0..sets.len() {
+            if !used[j] && sets[j].contains(labels[i]) {
+                used[j] = true;
+                if assign(labels, sets, used, i + 1) {
+                    used[j] = false;
+                    return true;
+                }
+                used[j] = false;
+            }
+        }
+        false
+    }
+    assign(labels, sets, &mut used, 0)
+}
+
+/// Enumerates the existential constraint: all arity-`s` multisets over the
+/// new alphabet (indices into `meanings`) admitting a choice in `d`, where
+/// `meanings[i]` is the old-label set denoted by new label `i`.
+///
+/// The output configurations are over the *new* alphabet.
+pub fn existential_constraint(meanings: &[LabelSet], d: &Constraint) -> Constraint {
+    let s = d.arity();
+    let m = meanings.len();
+    let mut out = Constraint::new(s).expect("arity ≥ 1 by Constraint invariant");
+    let mut stack: Vec<usize> = Vec::with_capacity(s);
+    fn rec(
+        meanings: &[LabelSet],
+        d: &Constraint,
+        m: usize,
+        s: usize,
+        start: usize,
+        stack: &mut Vec<usize>,
+        out: &mut Constraint,
+    ) {
+        if stack.len() == s {
+            let sets: Vec<LabelSet> = stack.iter().map(|&i| meanings[i]).collect();
+            if exists_choice(&sets, d) {
+                let cfg = Config::new(stack.iter().map(|&i| Label::from_index(i)).collect());
+                out.insert(cfg).expect("arity matches by construction");
+            }
+            return;
+        }
+        for i in start..m {
+            stack.push(i);
+            rec(meanings, d, m, s, i, stack, out);
+            stack.pop();
+        }
+    }
+    rec(meanings, d, m, s, 0, &mut stack, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: usize) -> Label {
+        Label::from_index(i)
+    }
+
+    fn cfg(ixs: &[usize]) -> Config {
+        Config::new(ixs.iter().map(|&i| l(i)).collect())
+    }
+
+    fn set(ixs: &[usize]) -> LabelSet {
+        ixs.iter().map(|&i| l(i)).collect()
+    }
+
+    #[test]
+    fn exists_choice_positive_and_negative() {
+        // d = {{0,1}} (one allowed pair)
+        let d = Constraint::from_configs(2, [cfg(&[0, 1])]).unwrap();
+        assert!(exists_choice(&[set(&[0]), set(&[1, 2])], &d));
+        assert!(exists_choice(&[set(&[1]), set(&[0])], &d));
+        assert!(!exists_choice(&[set(&[0]), set(&[0, 2])], &d));
+        assert!(!exists_choice(&[set(&[0])], &d)); // arity mismatch
+    }
+
+    #[test]
+    fn config_matches_needs_bijection() {
+        // config {0,0} against sets ({0}, {1}): second position cannot take 0.
+        assert!(!config_matches(&[l(0), l(0)], &[set(&[0]), set(&[1])]));
+        assert!(config_matches(&[l(0), l(0)], &[set(&[0]), set(&[0, 1])]));
+        // Permutation required: labels sorted (0,1), sets ({1},{0}).
+        assert!(config_matches(&[l(0), l(1)], &[set(&[1]), set(&[0])]));
+    }
+
+    #[test]
+    fn existential_constraint_sinkless_coloring() {
+        // Paper §4.4: Π_{1/2} of sinkless coloring. Old node constraint
+        // (Δ=3): exactly one 1 → config {0,0,1}. New alphabet after the
+        // universal edge step: A = {0}, B = {0,1}.
+        let h = Constraint::from_configs(3, [cfg(&[0, 0, 1])]).unwrap();
+        let meanings = vec![set(&[0]), set(&[0, 1])];
+        let h_half = existential_constraint(&meanings, &h);
+        // Allowed: any multiset over {A,B} with at least one B
+        // (B provides the 1; everything provides a 0 — but a line of all B
+        // works too: pick 1 from one B, 0 from the rest).
+        // Over {A,B} with arity 3 there are 4 multisets; all except AAA.
+        assert_eq!(h_half.len(), 3);
+        assert!(!h_half.contains(&cfg(&[0, 0, 0]))); // AAA has no 1
+        assert!(h_half.contains(&cfg(&[0, 0, 1]))); // AAB
+        assert!(h_half.contains(&cfg(&[0, 1, 1]))); // ABB
+        assert!(h_half.contains(&cfg(&[1, 1, 1]))); // BBB
+    }
+
+    #[test]
+    fn existential_constraint_empty_when_no_choice() {
+        let d = Constraint::from_configs(2, [cfg(&[0, 0])]).unwrap();
+        let meanings = vec![set(&[1]), set(&[2])];
+        let e = existential_constraint(&meanings, &d);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn exhaustive_against_product_enumeration() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..=4);
+            let arity = rng.gen_range(2..=3);
+            let mut d = Constraint::new(arity).unwrap();
+            for c in crate::config::all_multisets(n, arity) {
+                if rng.gen_bool(0.4) {
+                    d.insert(c).unwrap();
+                }
+            }
+            // Random sets.
+            let sets: Vec<LabelSet> = (0..arity)
+                .map(|_| {
+                    let mut s = LabelSet::empty();
+                    for i in 0..n {
+                        if rng.gen_bool(0.6) {
+                            s.insert(l(i));
+                        }
+                    }
+                    if s.is_empty() {
+                        s.insert(l(0));
+                    }
+                    s
+                })
+                .collect();
+            // Oracle: full product.
+            let mut found = false;
+            let idx: Vec<Vec<Label>> = sets.iter().map(|s| s.iter().collect()).collect();
+            let mut counters = vec![0usize; arity];
+            'outer: loop {
+                let choice: Vec<Label> = (0..arity).map(|i| idx[i][counters[i]]).collect();
+                if d.contains(&Config::new(choice)) {
+                    found = true;
+                    break;
+                }
+                // increment
+                for i in 0..arity {
+                    counters[i] += 1;
+                    if counters[i] < idx[i].len() {
+                        continue 'outer;
+                    }
+                    counters[i] = 0;
+                }
+                break;
+            }
+            assert_eq!(exists_choice(&sets, &d), found);
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! The *universal* half of a speedup step: maximal "good lines".
+//!
+//! Given a constraint `C` of arity `r`, a **line** is a multiset
+//! `(X₁, …, X_r)` of non-empty label sets. A line is **good** if *every*
+//! choice `x_i ∈ X_i` yields a configuration of `C` — this is Property 1
+//! (for `g_{1/2}`) and Property 4 (for `h₁`) of the paper. The simplified
+//! problems of Theorem 2 keep only the ⊆-*maximal* good lines
+//! (Properties 5 and 6).
+//!
+//! # Algorithm
+//!
+//! We enumerate maximal good lines by a *merge closure*:
+//!
+//! 1. Seed with `C`'s configurations viewed as lines of singletons (these
+//!    are trivially good).
+//! 2. Repeatedly **merge** two good lines: for an alignment σ of their
+//!    positions and a distinguished position `j`, form
+//!    `(A₁∩B_{σ(1)}, …, A_j∪B_{σ(j)}, …)`. Any choice from the merged line
+//!    picks its `j`-entry from `A_j` or `B_{σ(j)}` and all other entries
+//!    from intersections, so it is a choice of `A` or of `B`; hence merges
+//!    of good lines are good (*soundness*).
+//! 3. Keep only a dominating antichain (lines not componentwise-contained
+//!    in another kept line, up to alignment).
+//!
+//! *Completeness:* any good line is produced by iterated merges of the
+//! seeds — split some `X_j = {a} ⊎ rest` and merge the two (inductively
+//! reachable) sub-lines with the identity alignment at `j`. Pruning
+//! dominated lines preserves completeness because merging is monotone in
+//! both arguments, so the invariant "every good line is dominated by a kept
+//! line" survives; at a fixpoint the kept antichain is exactly the set of
+//! maximal good lines. Tests cross-check against a brute-force oracle.
+
+use crate::config::Config;
+use crate::constraint::Constraint;
+use crate::labelset::LabelSet;
+use std::collections::HashSet;
+
+/// A multiset of label sets, canonically sorted. See module docs.
+pub type Line = Vec<LabelSet>;
+
+/// Canonicalizes a line (sorts its components).
+pub fn canonical(mut line: Line) -> Line {
+    line.sort_unstable();
+    line
+}
+
+/// Whether every choice `x_i ∈ line[i]` is a configuration of `c`.
+///
+/// Identical components are grouped so that choices are enumerated as
+/// combinations-with-repetition rather than the full product.
+pub fn line_good(line: &[LabelSet], c: &Constraint) -> bool {
+    if line.len() != c.arity() || line.iter().any(LabelSet::is_empty) {
+        return false;
+    }
+    // Group identical sets: (set, count).
+    let sorted = canonical(line.to_vec());
+    let mut groups: Vec<(LabelSet, usize)> = Vec::new();
+    for s in sorted {
+        match groups.last_mut() {
+            Some((g, n)) if *g == s => *n += 1,
+            _ => groups.push((s, 1)),
+        }
+    }
+    let mut chosen: Vec<crate::label::Label> = Vec::with_capacity(c.arity());
+    all_choices_ok(&groups, 0, &mut chosen, c)
+}
+
+fn all_choices_ok(
+    groups: &[(LabelSet, usize)],
+    gi: usize,
+    chosen: &mut Vec<crate::label::Label>,
+    c: &Constraint,
+) -> bool {
+    if gi == groups.len() {
+        return c.contains(&Config::new(chosen.clone()));
+    }
+    let (set, count) = &groups[gi];
+    let elems: Vec<crate::label::Label> = set.iter().collect();
+    // Multisets of size `count` from `elems` (combinations with repetition).
+    fn rec(
+        elems: &[crate::label::Label],
+        start: usize,
+        left: usize,
+        groups: &[(LabelSet, usize)],
+        gi: usize,
+        chosen: &mut Vec<crate::label::Label>,
+        c: &Constraint,
+    ) -> bool {
+        if left == 0 {
+            return all_choices_ok(groups, gi + 1, chosen, c);
+        }
+        for i in start..elems.len() {
+            chosen.push(elems[i]);
+            let ok = rec(elems, i, left - 1, groups, gi, chosen, c);
+            chosen.pop();
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+    rec(&elems, 0, *count, groups, gi, chosen, c)
+}
+
+/// Whether line `a` dominates line `b`: some alignment σ has
+/// `b[i] ⊆ a[σ(i)]` for all `i` (σ a bijection of positions).
+pub fn dominates(a: &[LabelSet], b: &[LabelSet]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut used = vec![false; n];
+    fn assign(b: &[LabelSet], a: &[LabelSet], used: &mut [bool], i: usize) -> bool {
+        if i == b.len() {
+            return true;
+        }
+        for j in 0..a.len() {
+            if !used[j] && b[i].is_subset(&a[j]) {
+                used[j] = true;
+                if assign(b, a, used, i + 1) {
+                    used[j] = false;
+                    return true;
+                }
+                used[j] = false;
+            }
+        }
+        false
+    }
+    assign(b, a, &mut used, 0)
+}
+
+/// All canonical merges of two lines (over all alignments and distinguished
+/// positions), dropping results with empty components.
+///
+/// Alignments range over the *distinct* permutations of `b`'s multiset of
+/// sets (lines typically repeat few distinct sets, so this is far smaller
+/// than n! — the difference between Δ = 7 finishing in milliseconds and in
+/// minutes).
+fn merges(a: &[LabelSet], b: &[LabelSet], out: &mut HashSet<Line>) {
+    let n = a.len();
+    if n == 0 {
+        return;
+    }
+    // Group b's distinct sets with multiplicities.
+    let mut distinct: Vec<LabelSet> = Vec::new();
+    let mut remaining: Vec<usize> = Vec::new();
+    for s in b {
+        match distinct.iter().position(|d| d == s) {
+            Some(ix) => remaining[ix] += 1,
+            None => {
+                distinct.push(*s);
+                remaining.push(1);
+            }
+        }
+    }
+    let mut assignment: Vec<usize> = Vec::with_capacity(n);
+    unique_perms(a, &distinct, &mut remaining, &mut assignment, out);
+
+    fn unique_perms(
+        a: &[LabelSet],
+        distinct: &[LabelSet],
+        remaining: &mut Vec<usize>,
+        assignment: &mut Vec<usize>,
+        out: &mut HashSet<Line>,
+    ) {
+        let n = a.len();
+        if assignment.len() == n {
+            emit(a, distinct, assignment, out);
+            return;
+        }
+        for d in 0..distinct.len() {
+            if remaining[d] > 0 {
+                remaining[d] -= 1;
+                assignment.push(d);
+                unique_perms(a, distinct, remaining, assignment, out);
+                assignment.pop();
+                remaining[d] += 1;
+            }
+        }
+    }
+
+    fn emit(a: &[LabelSet], distinct: &[LabelSet], assignment: &[usize], out: &mut HashSet<Line>) {
+        let n = a.len();
+        // Precompute intersections; bail early on an empty one (a line
+        // with an empty non-distinguished component is dead for every j
+        // except the empty position itself).
+        for j in 0..n {
+            let mut line: Line = Vec::with_capacity(n);
+            let mut ok = true;
+            for i in 0..n {
+                let bi = &distinct[assignment[i]];
+                let s = if i == j { a[i].union(bi) } else { a[i].intersection(bi) };
+                if s.is_empty() {
+                    ok = false;
+                    break;
+                }
+                line.push(s);
+            }
+            if ok {
+                out.insert(canonical(line));
+            }
+        }
+    }
+}
+
+/// Extends a label to position `i` if every choice of the other
+/// components combined with it stays in `c`.
+fn can_extend(
+    line: &[LabelSet],
+    i: usize,
+    l: crate::label::Label,
+    c: &Constraint,
+) -> bool {
+    // Group the other components, then enumerate their choices.
+    let mut groups: Vec<(LabelSet, usize)> = Vec::new();
+    for (j, s) in line.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        match groups.iter_mut().find(|(g, _)| g == s) {
+            Some((_, n)) => *n += 1,
+            None => groups.push((*s, 1)),
+        }
+    }
+    let mut chosen = vec![l];
+    all_choices_ok(&groups, 0, &mut chosen, c)
+}
+
+/// Componentwise closure: repeatedly maximize each component given the
+/// others, until fixpoint. The result dominates the input and is still
+/// good; maximal good lines are exactly the closed good lines that no
+/// other closed line strictly dominates.
+fn close_line(mut line: Line, c: &Constraint, universe: &LabelSet) -> Line {
+    loop {
+        let mut changed = false;
+        for i in 0..line.len() {
+            let missing = universe.difference(&line[i]);
+            for l in missing.iter() {
+                if can_extend(&line, i, l, c) {
+                    line[i].insert(l);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return canonical(line);
+        }
+    }
+}
+
+/// Enumerates all ⊆-maximal good lines of `c` (the simplified universal
+/// transform of Theorem 2). Lines never contain the empty set: dropping the
+/// degenerate lines with an empty component is the paper's compression
+/// convention (§4.2) — they cannot occur in a correct solution because the
+/// existential sibling constraint cannot pick an element from ∅.
+pub fn maximal_good_lines(c: &Constraint) -> Vec<Line> {
+    if c.arity() == 2 {
+        return maximal_good_pairs(c);
+    }
+    // Antichain of known good lines, and a work queue of unprocessed ones.
+    // Every enqueued line is closed (componentwise maximal), which keeps
+    // the state space near the antichain of maximal lines instead of the
+    // exponentially larger space of all good lines.
+    let universe = c.used_labels();
+    let mut antichain: Vec<Line> = Vec::new();
+    let mut seen: HashSet<Line> = HashSet::new();
+    let mut queue: Vec<Line> = Vec::new();
+
+    for cfg in c.iter() {
+        let line: Line = canonical(cfg.iter().map(LabelSet::singleton).collect());
+        let line = close_line(line, c, &universe);
+        if seen.insert(line.clone()) {
+            queue.push(line);
+        }
+    }
+
+    while let Some(line) = queue.pop() {
+        // Skip if already dominated by the antichain.
+        if antichain.iter().any(|m| m != &line && dominates(m, &line)) {
+            continue;
+        }
+        // Merge against every line currently in the antichain, and itself.
+        let mut new_lines: HashSet<Line> = HashSet::new();
+        merges(&line, &line, &mut new_lines);
+        for m in &antichain {
+            merges(&line, m, &mut new_lines);
+        }
+        // Install `line` into the antichain, evicting dominated entries.
+        antichain.retain(|m| !dominates(&line, m));
+        antichain.push(line);
+        for nl in new_lines {
+            if seen.contains(&nl) || antichain.iter().any(|m| dominates(m, &nl)) {
+                continue;
+            }
+            let closed = close_line(nl, c, &universe);
+            if !seen.contains(&closed) && !antichain.iter().any(|m| dominates(m, &closed)) {
+                seen.insert(closed.clone());
+                queue.push(closed);
+            }
+        }
+    }
+
+    // Final pass: keep only maximal lines.
+    let mut result: Vec<Line> = Vec::new();
+    for (i, l) in antichain.iter().enumerate() {
+        let dominated = antichain
+            .iter()
+            .enumerate()
+            .any(|(j, m)| j != i && dominates(m, l) && !dominates(l, m));
+        let duplicate = result.contains(l);
+        if !dominated && !duplicate {
+            result.push(l.clone());
+        }
+    }
+    result.sort();
+    result
+}
+
+/// Arity-2 fast path: maximal good pairs are exactly the *formal
+/// concepts* of the symmetric compatibility relation — closed pairs
+/// `(Y, cl(Y))` with `cl(S) = {x : ∀s∈S, {x,s} ∈ c}`. Every concept
+/// extent is an intersection of single-label closures, so the ∩-closure
+/// of `{cl({s})}` enumerates them all.
+fn maximal_good_pairs(c: &Constraint) -> Vec<Line> {
+    let universe = c.used_labels();
+    let cl = |s: &LabelSet| -> LabelSet {
+        let mut out = LabelSet::empty();
+        for x in universe.iter() {
+            if s.iter().all(|y| c.contains_labels(&[x, y])) {
+                out.insert(x);
+            }
+        }
+        out
+    };
+    // ∩-closure of the single-label closures (plus the full universe).
+    let mut extents: Vec<LabelSet> = vec![universe];
+    for l in universe.iter() {
+        let base = cl(&LabelSet::singleton(l));
+        let mut new_items: Vec<LabelSet> = Vec::new();
+        for e in &extents {
+            let meet = e.intersection(&base);
+            if !extents.contains(&meet) && !new_items.contains(&meet) {
+                new_items.push(meet);
+            }
+        }
+        if !extents.contains(&base) && !new_items.contains(&base) {
+            new_items.push(base);
+        }
+        extents.extend(new_items);
+    }
+    let mut out: Vec<Line> = Vec::new();
+    for e in extents {
+        if e.is_empty() {
+            continue;
+        }
+        let partner = cl(&e);
+        if partner.is_empty() || cl(&partner) != e {
+            continue; // not a concept (or degenerate)
+        }
+        let line = canonical(vec![e, partner]);
+        if !out.contains(&line) {
+            out.push(line);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Brute-force oracle: all good lines over subsets of `universe`, maximal
+/// ones only. Exponential; used by tests and the unsimplified transform on
+/// tiny instances.
+pub fn maximal_good_lines_bruteforce(c: &Constraint, universe: &LabelSet) -> Vec<Line> {
+    let subsets = crate::labelset::nonempty_subsets(universe);
+    let r = c.arity();
+    let mut all: Vec<Line> = Vec::new();
+    let mut cur: Line = Vec::with_capacity(r);
+    fn rec(
+        subsets: &[LabelSet],
+        start: usize,
+        left: usize,
+        cur: &mut Line,
+        c: &Constraint,
+        all: &mut Vec<Line>,
+    ) {
+        if left == 0 {
+            if line_good(cur, c) {
+                all.push(cur.clone());
+            }
+            return;
+        }
+        for i in start..subsets.len() {
+            cur.push(subsets[i]);
+            rec(subsets, i, left - 1, cur, c, all);
+            cur.pop();
+        }
+    }
+    rec(&subsets, 0, r, &mut cur, c, &mut all);
+    let mut maximal: Vec<Line> = Vec::new();
+    for (i, l) in all.iter().enumerate() {
+        if !all.iter().enumerate().any(|(j, m)| j != i && m != l && dominates(m, l)) {
+            maximal.push(l.clone());
+        }
+    }
+    maximal.sort();
+    maximal.dedup();
+    maximal
+}
+
+/// All good lines (not only maximal) over subsets of `universe`; the
+/// unsimplified Theorem-1 transform. Exponential in `universe.len()`.
+pub fn all_good_lines_bruteforce(c: &Constraint, universe: &LabelSet) -> Vec<Line> {
+    let subsets = crate::labelset::nonempty_subsets(universe);
+    let r = c.arity();
+    let mut all: Vec<Line> = Vec::new();
+    let mut cur: Line = Vec::with_capacity(r);
+    fn rec(
+        subsets: &[LabelSet],
+        start: usize,
+        left: usize,
+        cur: &mut Line,
+        c: &Constraint,
+        all: &mut Vec<Line>,
+    ) {
+        if left == 0 {
+            if line_good(cur, c) {
+                all.push(cur.clone());
+            }
+            return;
+        }
+        for i in start..subsets.len() {
+            cur.push(subsets[i]);
+            rec(subsets, i, left - 1, cur, c, all);
+            cur.pop();
+        }
+    }
+    rec(&subsets, 0, r, &mut cur, c, &mut all);
+    all.sort();
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn l(i: usize) -> Label {
+        Label::from_index(i)
+    }
+
+    fn cfg(ixs: &[usize]) -> Config {
+        Config::new(ixs.iter().map(|&i| l(i)).collect())
+    }
+
+    fn set(ixs: &[usize]) -> LabelSet {
+        ixs.iter().map(|&i| l(i)).collect()
+    }
+
+    /// Sinkless-coloring edge constraint: {0,0} and {0,1} allowed.
+    fn sc_edge() -> Constraint {
+        Constraint::from_configs(2, [cfg(&[0, 0]), cfg(&[0, 1])]).unwrap()
+    }
+
+    #[test]
+    fn line_good_basics() {
+        let c = sc_edge();
+        assert!(line_good(&[set(&[0]), set(&[0, 1])], &c));
+        assert!(!line_good(&[set(&[0, 1]), set(&[0, 1])], &c)); // {1,1} not allowed
+        assert!(!line_good(&[set(&[1]), set(&[1])], &c));
+        assert!(!line_good(&[LabelSet::empty(), set(&[0])], &c)); // empty component
+    }
+
+    #[test]
+    fn sinkless_coloring_edge_has_unique_maximal_line() {
+        // Paper §4.4: the only maximal element of g_{1/2} is {{0},{0,1}}.
+        let lines = maximal_good_lines(&sc_edge());
+        assert_eq!(lines, vec![canonical(vec![set(&[0]), set(&[0, 1])])]);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_coloring() {
+        // 3-coloring edge constraint: all pairs of distinct colors.
+        let c = Constraint::from_configs(
+            2,
+            [cfg(&[0, 1]), cfg(&[0, 2]), cfg(&[1, 2])],
+        )
+        .unwrap();
+        let fast = maximal_good_lines(&c);
+        let slow = maximal_good_lines_bruteforce(&c, &LabelSet::first_n(3));
+        assert_eq!(fast, slow);
+        // Maximal disjoint pairs {Y, complement-ish}: {0}{1,2}, {1}{0,2}, {2}{0,1}.
+        assert_eq!(fast.len(), 3);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_arity3() {
+        // "at least one 1": node constraint of sinkless orientation, Δ=3,
+        // labels {0,1}: configs 001, 011, 111.
+        let c = Constraint::from_configs(3, [cfg(&[0, 0, 1]), cfg(&[0, 1, 1]), cfg(&[1, 1, 1])]).unwrap();
+        let fast = maximal_good_lines(&c);
+        let slow = maximal_good_lines_bruteforce(&c, &LabelSet::first_n(2));
+        assert_eq!(fast, slow);
+        // Unique maximal line: ({1},{0,1},{0,1}).
+        assert_eq!(fast, vec![canonical(vec![set(&[1]), set(&[0, 1]), set(&[0, 1])])]);
+    }
+
+    #[test]
+    fn matches_bruteforce_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20190226);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..=4);
+            let arity = rng.gen_range(2..=3);
+            let univ = LabelSet::first_n(n);
+            let all = crate::config::all_multisets(n, arity);
+            let mut c = Constraint::new(arity).unwrap();
+            let mut any = false;
+            for cfg in all {
+                if rng.gen_bool(0.45) {
+                    c.insert(cfg).unwrap();
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            let fast = maximal_good_lines(&c);
+            let slow = maximal_good_lines_bruteforce(&c, &univ);
+            assert_eq!(fast, slow, "trial {trial} mismatch for constraint {c:?}");
+        }
+    }
+
+    #[test]
+    fn dominates_respects_alignment() {
+        let a = vec![set(&[0, 1]), set(&[2])];
+        let b = vec![set(&[2]), set(&[0])];
+        assert!(dominates(&a, &b)); // align ({2}→{2}, {0}→{0,1})
+        assert!(!dominates(&b, &a));
+        assert!(dominates(&a, &a));
+    }
+
+    #[test]
+    fn all_good_lines_superset_of_maximal() {
+        let c = sc_edge();
+        let univ = LabelSet::first_n(2);
+        let all = all_good_lines_bruteforce(&c, &univ);
+        let max = maximal_good_lines_bruteforce(&c, &univ);
+        for m in &max {
+            assert!(all.contains(m));
+        }
+        assert!(all.len() >= max.len());
+    }
+}

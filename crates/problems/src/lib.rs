@@ -1,0 +1,30 @@
+//! # roundelim-problems
+//!
+//! A zoo of locally checkable problems in the edge-checkable normal form of
+//! Brandt's automatic speedup theorem (PODC 2019), ready to be fed to the
+//! `roundelim-core` engine.
+//!
+//! * [`coloring`] — proper node/edge coloring (§4.5 color reduction).
+//! * [`sinkless`] — sinkless orientation and coloring (§4.4 fixed point).
+//! * [`weak`] — pointer weak k-coloring (§4.6) and superweak k-coloring
+//!   (§5.1) at explicit small Δ.
+//! * [`matching`] / [`mis`] — the targets of the Balliu et al. follow-up.
+//! * [`registry`] — name-indexed constructors for examples and tooling.
+//!
+//! ```
+//! use roundelim_problems::registry::family;
+//! let p = family("sinkless-orientation")?.instantiate(0, 3)?;
+//! assert_eq!(p.delta(), 3);
+//! # Ok::<(), roundelim_core::error::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod color_reduction;
+pub mod coloring;
+pub mod matching;
+pub mod mis;
+pub mod registry;
+pub mod sinkless;
+pub mod weak;

@@ -1,0 +1,136 @@
+//! A registry of named problem families for CLI-style tooling and examples.
+
+use roundelim_core::error::{Error, Result};
+use roundelim_core::problem::Problem;
+
+/// A named problem family: a constructor parameterized by `(k, Δ)`.
+///
+/// Families ignoring `k` document that in their description.
+pub struct Family {
+    /// Family identifier, e.g. `"coloring"`.
+    pub name: &'static str,
+    /// Human description with the meaning of the parameters.
+    pub description: &'static str,
+    /// Whether the `k` parameter is meaningful.
+    pub uses_k: bool,
+    ctor: fn(usize, usize) -> Result<Problem>,
+}
+
+impl std::fmt::Debug for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Family").field("name", &self.name).field("uses_k", &self.uses_k).finish()
+    }
+}
+
+impl Family {
+    /// Instantiates the family.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the constructor's parameter validation errors.
+    pub fn instantiate(&self, k: usize, delta: usize) -> Result<Problem> {
+        (self.ctor)(k, delta)
+    }
+}
+
+/// All registered families.
+pub fn families() -> &'static [Family] {
+    &[
+        Family {
+            name: "coloring",
+            description: "proper k-coloring at degree Δ (§4.5 with Δ=2)",
+            uses_k: true,
+            ctor: |k, d| crate::coloring::coloring(k, d),
+        },
+        Family {
+            name: "edge-coloring",
+            description: "proper k-edge-coloring at degree Δ",
+            uses_k: true,
+            ctor: |k, d| crate::coloring::edge_coloring(k, d),
+        },
+        Family {
+            name: "sinkless-coloring",
+            description: "sinkless coloring (§4.4); k ignored",
+            uses_k: false,
+            ctor: |_, d| crate::sinkless::sinkless_coloring(d),
+        },
+        Family {
+            name: "sinkless-orientation",
+            description: "sinkless orientation (§4.4); k ignored",
+            uses_k: false,
+            ctor: |_, d| crate::sinkless::sinkless_orientation(d),
+        },
+        Family {
+            name: "weak-coloring",
+            description: "pointer version of weak k-coloring (§4.6)",
+            uses_k: true,
+            ctor: |k, d| crate::weak::weak_coloring_pointer(k, d),
+        },
+        Family {
+            name: "superweak-coloring",
+            description: "superweak k-coloring (§5.1), explicit small-Δ form",
+            uses_k: true,
+            ctor: |k, d| crate::weak::superweak_coloring(k, d),
+        },
+        Family {
+            name: "perfect-matching",
+            description: "perfect matching; k ignored",
+            uses_k: false,
+            ctor: |_, d| crate::matching::perfect_matching(d),
+        },
+        Family {
+            name: "maximal-matching",
+            description: "maximal matching (Balliu et al. follow-up); k ignored",
+            uses_k: false,
+            ctor: |_, d| crate::matching::maximal_matching(d),
+        },
+        Family {
+            name: "mis",
+            description: "maximal independent set; k ignored",
+            uses_k: false,
+            ctor: |_, d| crate::mis::mis(d),
+        },
+    ]
+}
+
+/// Looks up a family by name.
+///
+/// # Errors
+///
+/// Returns [`Error::Unsupported`] listing the known families.
+pub fn family(name: &str) -> Result<&'static Family> {
+    families().iter().find(|f| f.name == name).ok_or_else(|| Error::Unsupported {
+        reason: format!(
+            "unknown problem family `{name}`; known: {}",
+            families().iter().map(|f| f.name).collect::<Vec<_>>().join(", ")
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_instantiates() {
+        for f in families() {
+            let p = f.instantiate(3, 3).unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            assert_eq!(p.delta(), 3, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(family("mis").unwrap().name, "mis");
+        assert!(family("nope").is_err());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = families().iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

@@ -1,0 +1,5 @@
+//! Concrete distributed algorithms: the paper's upper-bound companions.
+
+pub mod cole_vishkin;
+pub mod greedy;
+pub mod weak2;

@@ -1,0 +1,149 @@
+//! Validates distributed outputs against a [`Problem`] — the executable
+//! meaning of "algorithm A solves (Π, G)" from §3.
+//!
+//! A solution assigns one label to each node–edge pair `(v,e)` (i.e. each
+//! port); it is valid iff every node's label multiset is in `h(Δ)` and
+//! every edge's label pair is in `g(Δ)`.
+
+use crate::graph::PortGraph;
+use roundelim_core::label::Label;
+use roundelim_core::problem::Problem;
+use std::fmt;
+
+/// A constraint violation found by [`check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A node's label multiset is not in `h(Δ)`.
+    Node {
+        /// The offending node.
+        node: usize,
+        /// Its per-port labels.
+        labels: Vec<Label>,
+    },
+    /// An edge's label pair is not in `g(Δ)`.
+    Edge {
+        /// The endpoints.
+        nodes: (usize, usize),
+        /// The labels at the two endpoints of the edge.
+        labels: (Label, Label),
+    },
+    /// A node's degree differs from the problem's Δ (the checker targets
+    /// Δ-regular instances, matching the paper's lower-bound setting).
+    Degree {
+        /// The offending node.
+        node: usize,
+        /// Its degree.
+        degree: usize,
+        /// The problem's Δ.
+        delta: usize,
+    },
+    /// An output vector has the wrong arity for its node.
+    OutputArity {
+        /// The offending node.
+        node: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Node { node, .. } => write!(f, "node {node} violates the node constraint"),
+            Violation::Edge { nodes, .. } => {
+                write!(f, "edge {{{}, {}}} violates the edge constraint", nodes.0, nodes.1)
+            }
+            Violation::Degree { node, degree, delta } => {
+                write!(f, "node {node} has degree {degree}, problem expects Δ = {delta}")
+            }
+            Violation::OutputArity { node } => {
+                write!(f, "node {node} emitted the wrong number of output labels")
+            }
+        }
+    }
+}
+
+/// Checks a full output assignment, returning all violations (empty =
+/// valid solution).
+pub fn check(problem: &Problem, graph: &PortGraph, outputs: &[Vec<Label>]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let delta = problem.delta();
+    for v in 0..graph.node_count() {
+        if graph.degree(v) != delta {
+            violations.push(Violation::Degree { node: v, degree: graph.degree(v), delta });
+            continue;
+        }
+        if outputs[v].len() != delta {
+            violations.push(Violation::OutputArity { node: v });
+            continue;
+        }
+        if !problem.node_ok(&outputs[v]) {
+            violations.push(Violation::Node { node: v, labels: outputs[v].clone() });
+        }
+    }
+    for (u, pu, v, pv) in graph.edges() {
+        let (a, b) = match (outputs[u].get(pu), outputs[v].get(pv)) {
+            (Some(&a), Some(&b)) => (a, b),
+            _ => continue, // arity violation already recorded
+        };
+        if !problem.edge_ok(a, b) {
+            violations.push(Violation::Edge { nodes: (u, v), labels: (a, b) });
+        }
+    }
+    violations
+}
+
+/// Convenience: whether the outputs form a valid solution.
+pub fn is_valid(problem: &Problem, graph: &PortGraph, outputs: &[Vec<Label>]) -> bool {
+    check(problem, graph, outputs).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::cycle;
+    use roundelim_problems::coloring::coloring;
+
+    #[test]
+    fn valid_coloring_accepted() {
+        let g = cycle(6);
+        let p = coloring(3, 2).unwrap();
+        let c = |i: usize| Label::from_index(i);
+        // alternate colors 0,1 around an even cycle
+        let outputs: Vec<Vec<Label>> = (0..6).map(|v| vec![c(v % 2); 2]).collect();
+        assert!(is_valid(&p, &g, &outputs));
+    }
+
+    #[test]
+    fn monochromatic_edge_reported() {
+        let g = cycle(5);
+        let p = coloring(3, 2).unwrap();
+        let c = |i: usize| Label::from_index(i);
+        // 0,1,0,1,0 around an odd cycle: nodes 4 and 0 clash.
+        let outputs: Vec<Vec<Label>> = (0..5).map(|v| vec![c(v % 2); 2]).collect();
+        let vio = check(&p, &g, &outputs);
+        assert_eq!(vio.len(), 1);
+        assert!(matches!(vio[0], Violation::Edge { nodes: (0, 4), .. }));
+    }
+
+    #[test]
+    fn node_constraint_enforced() {
+        let g = cycle(4);
+        let p = coloring(3, 2).unwrap();
+        let c = |i: usize| Label::from_index(i);
+        // node 0 outputs two different colors: not allowed by h.
+        let mut outputs: Vec<Vec<Label>> = (0..4).map(|v| vec![c(v % 2); 2]).collect();
+        outputs[0] = vec![c(0), c(1)];
+        let vio = check(&p, &g, &outputs);
+        assert!(vio.iter().any(|v| matches!(v, Violation::Node { node: 0, .. })));
+    }
+
+    #[test]
+    fn degree_mismatch_reported() {
+        let g = crate::generate::complete(4); // 3-regular
+        let p = coloring(3, 2).unwrap(); // Δ = 2
+        let outputs: Vec<Vec<Label>> = (0..4).map(|_| vec![Label::from_index(0); 3]).collect();
+        let vio = check(&p, &g, &outputs);
+        let degree_violations =
+            vio.iter().filter(|v| matches!(v, Violation::Degree { .. })).count();
+        assert_eq!(degree_violations, 4);
+    }
+}

@@ -1,0 +1,212 @@
+//! Graph generators for the high-girth classes the theorems quantify over.
+
+use crate::graph::PortGraph;
+use rand::Rng;
+
+/// The n-cycle (Δ = 2, girth n) — the graph class of §4.5.
+///
+/// # Panics
+///
+/// Panics for `n < 3`.
+pub fn cycle(n: usize) -> PortGraph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    PortGraph::from_edges(n, &edges).expect("cycle edges are simple")
+}
+
+/// The complete graph K_n (girth 3) — a worst case for girth conditions.
+///
+/// # Panics
+///
+/// Panics for `n < 2`.
+pub fn complete(n: usize) -> PortGraph {
+    assert!(n >= 2);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    PortGraph::from_edges(n, &edges).expect("complete-graph edges are simple")
+}
+
+/// The complete bipartite graph K_{d,d} (d-regular, girth 4).
+///
+/// # Panics
+///
+/// Panics for `d < 1`.
+pub fn complete_bipartite(d: usize) -> PortGraph {
+    assert!(d >= 1);
+    let mut edges = Vec::new();
+    for u in 0..d {
+        for v in 0..d {
+            edges.push((u, d + v));
+        }
+    }
+    PortGraph::from_edges(2 * d, &edges).expect("bipartite edges are simple")
+}
+
+/// A random `d`-regular graph on `n` nodes via the configuration model
+/// (retrying until simple). Returns `None` if `n·d` is odd, `d ≥ n`, or no
+/// simple pairing is found within `tries` attempts.
+pub fn random_regular<R: Rng>(n: usize, d: usize, tries: usize, rng: &mut R) -> Option<PortGraph> {
+    if n * d % 2 != 0 || d >= n || d == 0 {
+        return None;
+    }
+    if n % 2 == 0 {
+        // Union of d random perfect matchings with per-matching retries:
+        // the rejection rate stays per-matching instead of compounding
+        // exponentially in d² as in the plain configuration model.
+        return random_regular_matchings(n, d, tries, rng);
+    }
+    'attempt: for _ in 0..tries {
+        // Stubs: d copies of each node.
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        let mut edges = Vec::with_capacity(n * d / 2);
+        let mut seen = std::collections::HashSet::new();
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'attempt;
+            }
+            if !seen.insert((u.min(v), u.max(v))) {
+                continue 'attempt;
+            }
+            edges.push((u, v));
+        }
+        if let Some(g) = PortGraph::from_edges(n, &edges) {
+            return Some(g);
+        }
+    }
+    None
+}
+
+fn random_regular_matchings<R: Rng>(
+    n: usize,
+    d: usize,
+    tries: usize,
+    rng: &mut R,
+) -> Option<PortGraph> {
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..d {
+        let mut placed = false;
+        'matching: for _ in 0..tries {
+            let mut nodes: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                nodes.swap(i, j);
+            }
+            let mut new_edges = Vec::with_capacity(n / 2);
+            for pair in nodes.chunks(2) {
+                let (u, v) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+                if seen.contains(&(u, v)) {
+                    continue 'matching;
+                }
+                new_edges.push((u, v));
+            }
+            for &e in &new_edges {
+                seen.insert(e);
+            }
+            edges.extend(new_edges);
+            placed = true;
+            break;
+        }
+        if !placed {
+            return None;
+        }
+    }
+    PortGraph::from_edges(n, &edges)
+}
+
+/// A random `d`-regular graph with girth at least `g` (by rejection).
+/// Expensive; intended for small test instances that exercise the girth
+/// hypotheses of Theorems 1–3.
+pub fn random_regular_girth<R: Rng>(
+    n: usize,
+    d: usize,
+    min_girth: usize,
+    tries: usize,
+    rng: &mut R,
+) -> Option<PortGraph> {
+    for _ in 0..tries {
+        if let Some(graph) = random_regular(n, d, 16, rng) {
+            if graph.girth().map_or(true, |gg| gg >= min_girth) {
+                return Some(graph);
+            }
+        }
+    }
+    None
+}
+
+/// Orientations for every edge (by the convention "oriented from the
+/// smaller to the larger endpoint" or uniformly at random) represented as,
+/// for each node and port, whether the edge points away.
+pub fn random_orientation<R: Rng>(g: &PortGraph, rng: &mut R) -> Vec<Vec<bool>> {
+    let mut out: Vec<Vec<bool>> = (0..g.node_count()).map(|v| vec![false; g.degree(v)]).collect();
+    for (u, pu, v, pv) in g.edges() {
+        let away_from_u = rng.gen_bool(0.5);
+        out[u][pu] = away_from_u;
+        out[v][pv] = !away_from_u;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle(7);
+        assert!(g.is_regular(2));
+        assert_eq!(g.girth(), Some(7));
+    }
+
+    #[test]
+    fn complete_properties() {
+        let g = complete(5);
+        assert!(g.is_regular(4));
+        assert_eq!(g.girth(), Some(3));
+        let b = complete_bipartite(3);
+        assert!(b.is_regular(3));
+        assert_eq!(b.girth(), Some(4));
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for (n, d) in [(10, 3), (20, 4), (16, 5)] {
+            let g = random_regular(n, d, 20000, &mut rng).unwrap();
+            assert!(g.is_regular(d), "n={n}, d={d}");
+            assert_eq!(g.node_count(), n);
+        }
+        // parity violation
+        assert!(random_regular(5, 3, 10, &mut rng).is_none());
+        assert!(random_regular(4, 4, 10, &mut rng).is_none());
+    }
+
+    #[test]
+    fn girth_rejection_works() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let g = random_regular_girth(30, 3, 5, 5000, &mut rng).expect("girth-5 cubic graph on 30 nodes");
+        assert!(g.girth().map_or(true, |x| x >= 5));
+        assert!(g.is_regular(3));
+    }
+
+    #[test]
+    fn orientations_are_consistent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let g = cycle(9);
+        let o = random_orientation(&g, &mut rng);
+        for (u, pu, v, pv) in g.edges() {
+            assert_ne!(o[u][pu], o[v][pv], "each edge has exactly one 'away' endpoint");
+        }
+    }
+}

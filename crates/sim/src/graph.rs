@@ -1,0 +1,243 @@
+//! Port-numbered graphs: the substrate of the §3 model.
+//!
+//! A [`PortGraph`] is a simple undirected graph where each node's incident
+//! edges are numbered 1…deg(v) (0-based internally). Port numberings are
+//! adversarial in the model; the generators in [`crate::generate`] produce
+//! arbitrary (construction-order) numberings and tests permute them.
+
+use std::collections::{HashSet, VecDeque};
+
+/// One endpoint of an edge as seen from a node: the neighbor and the
+/// neighbor's port number for the connecting edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortTarget {
+    /// The neighbor node id.
+    pub node: usize,
+    /// The port index of this edge at the neighbor.
+    pub port: usize,
+}
+
+/// A simple undirected graph with per-node port numbering.
+///
+/// ```
+/// use roundelim_sim::graph::PortGraph;
+/// let g = PortGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.is_regular(2));
+/// assert_eq!(g.girth(), Some(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PortGraph {
+    adj: Vec<Vec<PortTarget>>,
+}
+
+impl PortGraph {
+    /// Builds a graph from an edge list. Ports are assigned in edge-list
+    /// order. Returns `None` on self-loops, duplicate edges, or
+    /// out-of-range endpoints.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Option<PortGraph> {
+        let mut adj: Vec<Vec<PortTarget>> = vec![Vec::new(); n];
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        for &(u, v) in edges {
+            if u >= n || v >= n || u == v {
+                return None;
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                return None;
+            }
+            let pu = adj[u].len();
+            let pv = adj[v].len();
+            adj[u].push(PortTarget { node: v, port: pv });
+            adj[v].push(PortTarget { node: u, port: pu });
+        }
+        Some(PortGraph { adj })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Whether all nodes have degree `d`.
+    pub fn is_regular(&self, d: usize) -> bool {
+        self.adj.iter().all(|a| a.len() == d)
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The neighbor reached through `port` of `v`.
+    pub fn neighbor(&self, v: usize, port: usize) -> PortTarget {
+        self.adj[v][port]
+    }
+
+    /// All port targets of `v`, in port order.
+    pub fn ports(&self, v: usize) -> &[PortTarget] {
+        &self.adj[v]
+    }
+
+    /// Iterates over edges as `(u, port_at_u, v, port_at_v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, usize, usize)> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(u, targets)| {
+            targets.iter().enumerate().filter_map(move |(pu, t)| {
+                if u < t.node {
+                    Some((u, pu, t.node, t.port))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// The girth (length of a shortest cycle), or `None` for forests.
+    ///
+    /// BFS from every node; O(V·E) — intended for the modest test graphs.
+    pub fn girth(&self) -> Option<usize> {
+        let n = self.node_count();
+        let mut best: Option<usize> = None;
+        for root in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            let mut parent = vec![usize::MAX; n];
+            dist[root] = 0;
+            let mut queue = VecDeque::from([root]);
+            while let Some(u) = queue.pop_front() {
+                for t in &self.adj[u] {
+                    let v = t.node;
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        parent[v] = u;
+                        queue.push_back(v);
+                    } else if parent[u] != v {
+                        // Cycle through root candidate.
+                        let len = dist[u] + dist[v] + 1;
+                        if best.map_or(true, |b| len < b) {
+                            best = Some(len);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Renumbers the ports of every node by the given permutations
+    /// (`perms[v]` maps new port index → old port index). Used to realize
+    /// adversarial port numberings in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a permutation has the wrong length or is not a bijection.
+    #[must_use]
+    pub fn with_port_permutations(&self, perms: &[Vec<usize>]) -> PortGraph {
+        assert_eq!(perms.len(), self.node_count());
+        let mut new_adj: Vec<Vec<PortTarget>> = Vec::with_capacity(self.adj.len());
+        // old→new port maps
+        let inverse: Vec<Vec<usize>> = perms
+            .iter()
+            .enumerate()
+            .map(|(v, p)| {
+                assert_eq!(p.len(), self.degree(v), "permutation length mismatch at node {v}");
+                let mut inv = vec![usize::MAX; p.len()];
+                for (new, &old) in p.iter().enumerate() {
+                    assert!(inv[old] == usize::MAX, "not a permutation at node {v}");
+                    inv[old] = new;
+                }
+                inv
+            })
+            .collect();
+        for (v, perm) in perms.iter().enumerate() {
+            let mut row = Vec::with_capacity(perm.len());
+            for &old in perm {
+                let t = self.adj[v][old];
+                row.push(PortTarget { node: t.node, port: inverse[t.node][t.port] });
+            }
+            new_adj.push(row);
+        }
+        PortGraph { adj: new_adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect_cycle() {
+        let g = PortGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.is_regular(2));
+        assert_eq!(g.girth(), Some(5));
+        // port symmetry: following a port and coming back works
+        for v in 0..5 {
+            for p in 0..g.degree(v) {
+                let t = g.neighbor(v, p);
+                let back = g.neighbor(t.node, t.port);
+                assert_eq!(back.node, v);
+                assert_eq!(back.port, p);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_edge_lists() {
+        assert!(PortGraph::from_edges(3, &[(0, 0)]).is_none()); // self loop
+        assert!(PortGraph::from_edges(3, &[(0, 1), (1, 0)]).is_none()); // duplicate
+        assert!(PortGraph::from_edges(3, &[(0, 5)]).is_none()); // out of range
+    }
+
+    #[test]
+    fn girth_of_tree_is_none() {
+        let g = PortGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(g.girth(), None);
+        assert_eq!(g.max_degree(), 3);
+        assert!(!g.is_regular(3));
+    }
+
+    #[test]
+    fn girth_of_k4_is_three() {
+        let g = PortGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(g.girth(), Some(3));
+        assert!(g.is_regular(3));
+    }
+
+    #[test]
+    fn port_permutation_preserves_structure() {
+        let g = PortGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let perms: Vec<Vec<usize>> = (0..4).map(|v| (0..g.degree(v)).rev().collect()).collect();
+        let h = g.with_port_permutations(&perms);
+        assert_eq!(h.edge_count(), g.edge_count());
+        assert_eq!(h.girth(), g.girth());
+        for v in 0..4 {
+            for p in 0..h.degree(v) {
+                let t = h.neighbor(v, p);
+                let back = h.neighbor(t.node, t.port);
+                assert_eq!((back.node, back.port), (v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterator_is_complete() {
+        let g = PortGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 3);
+        for (u, pu, v, pv) in es {
+            assert_eq!(g.neighbor(u, pu).node, v);
+            assert_eq!(g.neighbor(v, pv).node, u);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The derived problem Π'₁ of superweak k-coloring, in the paper's
+//! compressed trit representation (§5.1).
+//!
+//! A node's Π'₁ output is a multiset `Q = {Q₁, …, Q_Δ}` of [`TritSet`]s,
+//! one per port. This module provides:
+//!
+//! * [`NodeOutput`] — an explicit per-port representation of `Q` (Δ entries
+//!   over few distinct sets, so explicit indices are cheap even for the
+//!   lower bound's `Δ ≥ 2^{4^k}+1` regime);
+//! * the Property A predicate on a *choice* `w_i ∈ Q_i` (membership of the
+//!   chosen trit multiset in `h_{1/2}(Δ)`), and hence the definition of a
+//!   *Property A violation* certificate;
+//! * the `g₁` edge compatibility between two `TritSet`s (re-exported from
+//!   [`crate::trit`]).
+
+use crate::trit::{TritSeq, TritSet};
+use std::collections::BTreeMap;
+
+/// A node's Π'₁ output: one [`TritSet`] per port (index 0..Δ).
+///
+/// Distinct sets are interned; per-port entries are ids into the table, so
+/// a `Δ = 2^{17}` output with three distinct sets costs ~Δ bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeOutput {
+    k: usize,
+    distinct: Vec<TritSet>,
+    ports: Vec<u32>,
+}
+
+impl NodeOutput {
+    /// Builds an output from per-port sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is empty or sequences disagree on length `k`.
+    pub fn new(per_port: Vec<TritSet>) -> NodeOutput {
+        assert!(!per_port.is_empty(), "a node has at least one port");
+        let k = per_port
+            .iter()
+            .flat_map(TritSet::iter)
+            .map(TritSeq::len)
+            .next()
+            .expect("outputs contain at least one trit sequence");
+        let mut distinct: Vec<TritSet> = Vec::new();
+        let mut ports = Vec::with_capacity(per_port.len());
+        for s in per_port {
+            for t in s.iter() {
+                assert_eq!(t.len(), k, "all trit sequences must have length k");
+            }
+            let id = match distinct.iter().position(|d| d == &s) {
+                Some(ix) => ix,
+                None => {
+                    distinct.push(s);
+                    distinct.len() - 1
+                }
+            };
+            ports.push(id as u32);
+        }
+        NodeOutput { k, distinct, ports }
+    }
+
+    /// Builds an output from `(set, multiplicity)` groups (ports are laid
+    /// out group by group).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty groups (a node has ≥ 1 port).
+    pub fn from_groups<I: IntoIterator<Item = (TritSet, usize)>>(groups: I) -> NodeOutput {
+        let mut per_port = Vec::new();
+        for (s, m) in groups {
+            for _ in 0..m {
+                per_port.push(s.clone());
+            }
+        }
+        NodeOutput::new(per_port)
+    }
+
+    /// The color-count parameter k (trit sequence length).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of ports Δ.
+    pub fn delta(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// The set at a port.
+    pub fn set_at(&self, port: usize) -> &TritSet {
+        &self.distinct[self.ports[port] as usize]
+    }
+
+    /// The distinct sets.
+    pub fn distinct_sets(&self) -> &[TritSet] {
+        &self.distinct
+    }
+
+    /// The interned set id at a port.
+    pub fn id_at(&self, port: usize) -> u32 {
+        self.ports[port]
+    }
+
+    /// Multiplicity of each distinct set, indexed by set id.
+    pub fn multiplicities(&self) -> Vec<usize> {
+        let mut m = vec![0usize; self.distinct.len()];
+        for &p in &self.ports {
+            m[p as usize] += 1;
+        }
+        m
+    }
+
+    /// The multiset view `{set → multiplicity}`.
+    pub fn as_multiset(&self) -> BTreeMap<&TritSet, usize> {
+        let mult = self.multiplicities();
+        self.distinct.iter().enumerate().map(|(i, s)| (s, mult[i])).collect()
+    }
+}
+
+/// Whether a chosen trit multiset (one sequence per port) satisfies the
+/// `h_{1/2}(Δ)` condition of §5.1: there is a position `j` where the number
+/// of 2s strictly exceeds the number of 0s and the number of 0s is at most
+/// `k`.
+pub fn choice_in_h_half(choice: &[TritSeq], k: usize) -> bool {
+    if choice.is_empty() {
+        return false;
+    }
+    for j in 0..k {
+        let mut zeros = 0usize;
+        let mut twos = 0usize;
+        for t in choice {
+            match t.trit(j) {
+                0 => zeros += 1,
+                2 => twos += 1,
+                _ => {}
+            }
+        }
+        if twos > zeros && zeros <= k {
+            return true;
+        }
+    }
+    false
+}
+
+/// A certificate that Property A fails for a [`NodeOutput`]: an explicit
+/// choice `w_i ∈ Q_i` whose trit multiset is **not** in `h_{1/2}(Δ)`.
+///
+/// Property A (membership side of `h₁(Δ)`) demands that *every* choice is
+/// in `h_{1/2}(Δ)`; one bad choice refutes it.
+#[derive(Debug, Clone)]
+pub struct PropertyAViolation {
+    /// The chosen trit sequence per port.
+    pub choice: Vec<TritSeq>,
+}
+
+impl PropertyAViolation {
+    /// Verifies the certificate against the output it refutes.
+    ///
+    /// Checks that the choice really picks from the respective port sets
+    /// and really fails the `h_{1/2}` condition.
+    pub fn verify(&self, q: &NodeOutput) -> bool {
+        self.choice.len() == q.delta()
+            && self
+                .choice
+                .iter()
+                .enumerate()
+                .all(|(i, t)| q.set_at(i).contains(t))
+            && !choice_in_h_half(&self.choice, q.k())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: &[&str]) -> TritSet {
+        TritSet::new(s.iter().map(|x| {
+            TritSeq::new(x.bytes().map(|b| b - b'0').collect()).unwrap()
+        }))
+    }
+
+    #[test]
+    fn node_output_interning() {
+        let a = ts(&["11", "22"]);
+        let b = ts(&["00"]);
+        let q = NodeOutput::new(vec![a.clone(), b.clone(), a.clone(), a.clone()]);
+        assert_eq!(q.delta(), 4);
+        assert_eq!(q.k(), 2);
+        assert_eq!(q.distinct_sets().len(), 2);
+        assert_eq!(q.multiplicities(), vec![3, 1]);
+        assert_eq!(q.set_at(1), &b);
+        let g = NodeOutput::from_groups([(a.clone(), 3), (b.clone(), 1)]);
+        assert_eq!(g.as_multiset(), q.as_multiset());
+    }
+
+    #[test]
+    fn h_half_condition() {
+        let t = |s: &str| TritSeq::new(s.bytes().map(|b| b - b'0').collect()).unwrap();
+        // Paper §4.6 example: {02, 11, 11, 12, 21} at Δ=5 is in h_{1/2}
+        // (pick j = 2: sequences with 2 at position 2: 02, 12 → two 2s;
+        // zeros at position 2: none).
+        let choice = vec![t("02"), t("11"), t("11"), t("12"), t("21")];
+        assert!(choice_in_h_half(&choice, 2));
+        // All-ones everywhere: no position has a 2.
+        let choice = vec![t("11"); 5];
+        assert!(!choice_in_h_half(&choice, 2));
+        // Balanced zeros and twos: {02, 20, 11}: position 0: one 0, one 2 —
+        // not strict; position 1: one 2, one 0 — not strict.
+        let choice = vec![t("02"), t("20"), t("11")];
+        assert!(!choice_in_h_half(&choice, 2));
+        // Too many zeros: k=1, three 0s and four 2s at the position, zeros
+        // ≤ k fails if zeros > 1.
+        let choice = vec![t("0"), t("0"), t("2"), t("2"), t("2")];
+        assert!(!choice_in_h_half(&choice, 1));
+        assert!(choice_in_h_half(&choice, 2));
+        assert!(!choice_in_h_half(&[], 2));
+    }
+
+    #[test]
+    fn violation_verification() {
+        let a = ts(&["11", "02"]);
+        let q = NodeOutput::new(vec![a.clone(), a.clone(), a.clone()]);
+        let t = |s: &str| TritSeq::new(s.bytes().map(|b| b - b'0').collect()).unwrap();
+        // all-ones choice is available and violates h_{1/2}
+        let v = PropertyAViolation { choice: vec![t("11"), t("11"), t("11")] };
+        assert!(v.verify(&q));
+        // a choice with a 2-majority position does not violate
+        let v = PropertyAViolation { choice: vec![t("02"), t("02"), t("11")] };
+        assert!(!v.verify(&q));
+        // a choice not in the sets is rejected
+        let v = PropertyAViolation { choice: vec![t("22"), t("11"), t("11")] };
+        assert!(!v.verify(&q));
+    }
+}

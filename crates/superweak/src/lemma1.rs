@@ -1,0 +1,183 @@
+//! Lemma 1: the dominant element P∞ of a Π'₁ node output.
+//!
+//! For `Δ ≥ 2^{4^k + 1}`, every `Q ∈ h₁(Δ)` contains a unique element P∞
+//! with multiplicity at least `Δ − 2^{4^k}` which moreover contains the
+//! all-ones trit sequence. This module locates that element (and reports
+//! precisely which part of the structure is missing when `Q` is not of the
+//! promised shape — useful both as a sanity check and as a fast refutation
+//! of `Q ∈ h₁(Δ)`).
+
+use crate::h1::NodeOutput;
+use crate::tower::Tower;
+use std::fmt;
+
+/// The multiplicity slack `2^{4^k}` of Lemma 1 (P∞ has multiplicity at
+/// least `Δ − 2^{4^k}`), as an exact [`Tower`].
+pub fn multiplicity_slack(k: usize) -> Tower {
+    match 4u128.checked_pow(k as u32) {
+        // 2^(4^k) with a numeric exponent.
+        Some(e) => Tower::from_u128(e).pow2(),
+        // k ≥ 64: 4^k = 2^(2k) itself needs a tower level.
+        None => Tower::from_u128(2 * k as u128).pow2().pow2(),
+    }
+}
+
+/// The degree requirement `Δ ≥ 2^{4^k + 1}` of Lemma 1, as an exact
+/// [`Tower`] (for `k ≤ 63`; larger k exceed any explicit representation
+/// and are handled by [`crate::lowerbound`]'s conservative tower bound).
+pub fn delta_requirement(k: usize) -> Option<Tower> {
+    let four_k = 4u128.checked_pow(k as u32)?;
+    Some(Tower::from_u128(four_k.checked_add(1)?).pow2())
+}
+
+/// Ways in which a node output can fail Lemma 1's promised structure.
+///
+/// Any of these certifies that either the hypotheses were unmet (degree too
+/// small) or `Q ∉ h₁(Δ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lemma1Error {
+    /// `Δ < 2^{4^k + 1}` — the lemma's hypothesis fails.
+    DegreeTooSmall {
+        /// The output's Δ.
+        delta: usize,
+        /// The required minimum.
+        required: Tower,
+    },
+    /// No element reaches multiplicity `Δ − 2^{4^k}`.
+    NoDominantElement,
+    /// Two elements reach the threshold (possible only at the boundary
+    /// `Δ = 2^{4^k+1}`); Lemma 1 promises uniqueness for `Q ∈ h₁(Δ)`, so a
+    /// tie certifies the structure is absent.
+    NotUnique,
+    /// The dominant element lacks the all-ones sequence.
+    MissingAllOnes,
+}
+
+impl fmt::Display for Lemma1Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lemma1Error::DegreeTooSmall { delta, required } => {
+                write!(f, "degree {delta} below the Lemma 1 requirement {required}")
+            }
+            Lemma1Error::NoDominantElement => {
+                write!(f, "no element has multiplicity at least Δ − 2^(4^k)")
+            }
+            Lemma1Error::NotUnique => {
+                write!(f, "two elements reach the Lemma 1 multiplicity threshold")
+            }
+            Lemma1Error::MissingAllOnes => {
+                write!(f, "the dominant element does not contain 11…1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Lemma1Error {}
+
+/// Locates P∞ in a node output: the unique set id with multiplicity
+/// ≥ `Δ − 2^{4^k}` containing the all-ones sequence.
+///
+/// Uniqueness is automatic once the multiplicity threshold exceeds Δ/2,
+/// which the degree requirement guarantees.
+///
+/// # Errors
+///
+/// Returns a [`Lemma1Error`] describing the missing structure.
+pub fn find_p_infinity(q: &NodeOutput) -> Result<u32, Lemma1Error> {
+    let k = q.k();
+    let delta = q.delta();
+    let required = delta_requirement(k).unwrap_or_else(|| {
+        // k ≥ 64: any explicit Δ (a usize) is below the requirement.
+        Tower::from_u128(u128::MAX).pow2()
+    });
+    if Tower::from_u128(delta as u128) < required {
+        return Err(Lemma1Error::DegreeTooSmall { delta, required });
+    }
+    let slack = multiplicity_slack(k)
+        .as_u128()
+        .expect("k ≤ 63 after the degree check, so the slack is numeric");
+    let threshold = (delta as u128).saturating_sub(slack);
+    let mult = q.multiplicities();
+    let mut qualifying = mult.iter().enumerate().filter(|&(_, &m)| m as u128 >= threshold);
+    let dominant = qualifying.next().map(|(ix, _)| ix as u32).ok_or(Lemma1Error::NoDominantElement)?;
+    if qualifying.next().is_some() {
+        return Err(Lemma1Error::NotUnique);
+    }
+    if !q.distinct_sets()[dominant as usize].contains_all_ones() {
+        return Err(Lemma1Error::MissingAllOnes);
+    }
+    Ok(dominant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trit::{TritSeq, TritSet};
+
+    fn t(s: &str) -> TritSeq {
+        TritSeq::new(s.bytes().map(|b| b - b'0').collect()).unwrap()
+    }
+
+    /// k=2 structured output: P∞ dominant, a few exotic ports.
+    fn structured(delta: usize, exotic: usize) -> NodeOutput {
+        let p_inf = TritSet::new([t("11"), t("22"), t("21"), t("12")]);
+        let other = TritSet::new([t("02"), t("20")]);
+        NodeOutput::from_groups([(p_inf, delta - exotic), (other, exotic)])
+    }
+
+    #[test]
+    fn slack_and_requirement_values() {
+        // k=2: 2^{4^2} = 2^16, requirement 2^17.
+        assert_eq!(multiplicity_slack(2).as_u128(), Some(1 << 16));
+        assert_eq!(delta_requirement(2).unwrap().as_u128(), Some(1 << 17));
+        // k=3: 2^64 slack, 2^65 requirement (both fit in u128).
+        assert_eq!(multiplicity_slack(3).as_u128(), Some(1 << 64));
+        assert_eq!(delta_requirement(3).unwrap().as_u128(), Some(1 << 65));
+        // k=64: 4^k no longer fits; the tower form kicks in.
+        assert!(multiplicity_slack(64) > Tower::from_u128(u128::MAX));
+    }
+
+    #[test]
+    fn finds_p_infinity_in_structured_output() {
+        let delta = (1usize << 17) + 5;
+        let q = structured(delta, 100);
+        let p = find_p_infinity(&q).unwrap();
+        assert!(q.distinct_sets()[p as usize].contains_all_ones());
+        assert!(q.multiplicities()[p as usize] >= delta - (1 << 16));
+    }
+
+    #[test]
+    fn degree_too_small_rejected() {
+        let q = structured(64, 4);
+        assert!(matches!(find_p_infinity(&q), Err(Lemma1Error::DegreeTooSmall { .. })));
+    }
+
+    #[test]
+    fn missing_all_ones_detected() {
+        let delta = (1usize << 17) + 5;
+        let bad = TritSet::new([t("22"), t("21")]); // no 11
+        let other = TritSet::new([t("02")]);
+        let q = NodeOutput::from_groups([(bad, delta - 3), (other, 3)]);
+        assert_eq!(find_p_infinity(&q), Err(Lemma1Error::MissingAllOnes));
+    }
+
+    #[test]
+    fn no_dominant_element_detected() {
+        // Strictly above the boundary: no element reaches Δ − 2^16.
+        let delta = (1usize << 17) + 4;
+        let a = TritSet::new([t("11")]);
+        let b = TritSet::new([t("22")]);
+        let q = NodeOutput::from_groups([(a, delta / 2), (b, delta / 2)]);
+        assert_eq!(find_p_infinity(&q), Err(Lemma1Error::NoDominantElement));
+    }
+
+    #[test]
+    fn boundary_tie_detected() {
+        // At Δ = 2^{17} exactly, two halves both reach the threshold.
+        let delta = 1usize << 17;
+        let a = TritSet::new([t("11")]);
+        let b = TritSet::new([t("22")]);
+        let q = NodeOutput::from_groups([(a, delta / 2), (b, delta / 2)]);
+        assert_eq!(find_p_infinity(&q), Err(Lemma1Error::NotUnique));
+    }
+}

@@ -1,0 +1,47 @@
+//! # roundelim-superweak
+//!
+//! The Section 5 pipeline of Brandt's automatic speedup theorem
+//! (PODC 2019): *superweak k-coloring* and the tight Ω(log* Δ) lower bound
+//! for weak 2-coloring on odd-degree graphs (Theorem 4), answering the
+//! 1993 open question of Naor and Stockmeyer.
+//!
+//! The explicit small-Δ form of superweak coloring lives in
+//! `roundelim-problems`; this crate implements the *compressed* machinery
+//! the lower bound needs at `Δ ≥ 2^{4^k}+1`:
+//!
+//! * [`trit`] — trit sequences and trit sets, the paper's equivalent
+//!   description of the derived problems Π'_{1/2} and Π'₁;
+//! * [`halfstep`] — machine-checked equivalence of that description with
+//!   the generic engine (on small instances);
+//! * [`h1`] — Π'₁ node outputs and Property A violations;
+//! * [`lemma1`] — the dominant element P∞;
+//! * [`matching`] — Hopcroft–Karp + Hall violators (the proof engine of
+//!   Lemma 2);
+//! * [`lemma2`] — the J*/N(J*) dichotomy with machine-checkable witnesses;
+//! * [`transform`] — Lemma 3's zero-communication output conversion;
+//! * [`tower`] — exact arithmetic on `2^2^…^v` towers;
+//! * [`lowerbound`] — Theorem 4: the round-counting chain and the 0-round
+//!   impossibility witness.
+//!
+//! ```
+//! use roundelim_superweak::lowerbound::weak2_lower_bound;
+//! use roundelim_superweak::tower::Tower;
+//! // A degree so large that log*Δ = 24: several certified rounds.
+//! let delta = Tower::tower_of_twos(24);
+//! let (t, _k_star) = weak2_lower_bound(&delta).unwrap();
+//! assert!(t >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod h1;
+pub mod halfstep;
+pub mod lemma1;
+pub mod lemma2;
+pub mod lowerbound;
+pub mod matching;
+pub mod pipeline;
+pub mod tower;
+pub mod transform;
+pub mod trit;

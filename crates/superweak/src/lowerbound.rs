@@ -1,0 +1,233 @@
+//! Theorem 4: the Ω(log* Δ) lower bound for weak 2-coloring on odd-degree
+//! graphs, assembled from the superweak pipeline.
+//!
+//! The proof structure, made executable:
+//!
+//! 1. A weak-2-coloring algorithm in T rounds yields a superweak
+//!    2-coloring algorithm in T+1 rounds (pointer version, §4.6).
+//! 2. Each application of Lemma 4 trades one round for an exponential
+//!    parameter jump: superweak k in t rounds ⇒ superweak k′ in t−1
+//!    rounds, with `k′ ≤ F⁵(k)`, `F(x) = 2^x`, valid while
+//!    `Δ ≥ 2^{4^k + 1}`.
+//! 3. A 0-round superweak k*-coloring algorithm is impossible whenever
+//!    `k* ≤ (Δ−3)/2` (the port-rewiring pigeonhole of §5.2).
+//!
+//! [`speedup_rounds`] computes how many Lemma 4 steps condition 2 admits
+//! for a given Δ, [`zero_round_impossibility`] checks condition 3, and
+//! [`weak2_lower_bound`] combines them into the certified round bound,
+//! which tests compare against the paper's `(log* Δ − 7)/5` shape.
+
+use crate::tower::Tower;
+
+/// Whether one more Lemma 4 application is valid: `Δ ≥ 2^{4^k + 1}`.
+///
+/// Exact when `4^k + 1` is numeric (`k ≤ 63`). For tower-sized `k` the
+/// *sufficient* condition `F⁴(k) ≤ Δ` is used (`2^{4^k+1} ≤ 2^{2^{2^k}}`
+/// for `k ≥ 3`), which can only under-count rounds — sound for a lower
+/// bound.
+pub fn step_condition(delta: &Tower, k: &Tower) -> bool {
+    match k.as_u128().and_then(|kv| 4u128.checked_pow(u32::try_from(kv).ok()?)) {
+        Some(four_k) if four_k < u128::MAX => {
+            let threshold = Tower::from_u128(four_k + 1).pow2();
+            *delta >= threshold
+        }
+        _ => {
+            // Conservative: Δ ≥ 2^2^2^2^k ≥ 2^{4^k+1} for k ≥ 3.
+            let threshold = k.pow2_iter(3);
+            *delta >= threshold
+        }
+    }
+}
+
+/// The Lemma 4 parameter jump, upper-bounded by `F⁵(k)` as in the proof of
+/// Theorem 4 (`k_{i+1} = F⁵(k_i) ≥ 2^{2^{5^k_i}} = k′`).
+pub fn next_k(k: &Tower) -> Tower {
+    k.pow2_iter(5)
+}
+
+/// One row of the Theorem 4 accounting: the state after `round` steps.
+#[derive(Debug, Clone)]
+pub struct SpeedupStep {
+    /// Number of Lemma 4 applications performed so far.
+    pub round: usize,
+    /// The superweak parameter after those applications.
+    pub k: Tower,
+}
+
+/// Computes the maximal number of Lemma 4 applications starting from
+/// superweak `k₀`-coloring on Δ-regular graphs, with the trace of
+/// intermediate parameters.
+///
+/// Stops either when the degree condition fails or after `cap` steps
+/// (guarding against callers passing enormous Δ towers).
+pub fn speedup_rounds(delta: &Tower, k0: u128, cap: usize) -> Vec<SpeedupStep> {
+    let mut steps = vec![SpeedupStep { round: 0, k: Tower::from_u128(k0) }];
+    while steps.len() <= cap {
+        let last = steps.last().expect("nonempty");
+        if !step_condition(delta, &last.k) {
+            break;
+        }
+        steps.push(SpeedupStep { round: last.round + 1, k: next_k(&last.k) });
+    }
+    steps
+}
+
+/// Witness of the §5.2 endgame: no 0-round (order-invariant) algorithm
+/// solves superweak k*-coloring on Δ-regular graphs when Δ is odd and
+/// `k* ≤ (Δ−3)/2`.
+///
+/// The argument, reproduced by [`zero_round_impossibility`]: consider a
+/// node whose first `(Δ−1)/2` ports are incoming and the rest outgoing. By
+/// pigeonhole two IDs get the same color. The node has at most k*
+/// accepting pointers, and since `k* < (Δ−1)/2 ≤ #in, #out`, some in-port
+/// *and* some out-port carry no accepting pointer; wiring a demanding
+/// pointer of the first node into such a port of the second (same color)
+/// invalidates the edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImpossibilityWitness {
+    /// The degree.
+    pub delta: u128,
+    /// The superweak parameter ruled out.
+    pub k_star: u128,
+    /// Incoming ports of the adversarial view: `(Δ−1)/2`.
+    pub in_ports: u128,
+    /// Outgoing ports: `(Δ+1)/2`.
+    pub out_ports: u128,
+}
+
+/// Checks the §5.2 impossibility conditions and returns the witness, or
+/// `None` when the argument does not apply (Δ even, or k* too large).
+pub fn zero_round_impossibility(k_star: u128, delta: u128) -> Option<ImpossibilityWitness> {
+    if delta % 2 == 0 || delta < 3 {
+        return None;
+    }
+    if k_star > (delta - 3) / 2 {
+        return None;
+    }
+    let in_ports = (delta - 1) / 2;
+    let out_ports = (delta + 1) / 2;
+    // Soundness of the wiring argument: both port classes must exceed k*.
+    debug_assert!(in_ports > k_star && out_ports > k_star);
+    Some(ImpossibilityWitness { delta, k_star, in_ports, out_ports })
+}
+
+/// The certified lower bound of Theorem 4 for weak 2-coloring on
+/// Δ-regular odd-degree graphs: the number of rounds `T` such that any
+/// `T`-round weak-2-coloring algorithm would, after the +1 pointer round
+/// and `T+1` Lemma 4 steps, yield an impossible 0-round superweak
+/// k*-coloring algorithm.
+///
+/// Returns `(T, k_star)` where `k_star` is the final parameter (as a
+/// [`Tower`]), or `None` if even one application is impossible (tiny Δ).
+///
+/// The paper's Theorem 4 shows `T ≥ (log* Δ − 7)/5`; tests verify this
+/// shape across a sweep of Δ.
+pub fn weak2_lower_bound(delta: &Tower) -> Option<(usize, Tower)> {
+    // Steps from k₀ = 2; each valid step is one round eliminated. The
+    // pointer-version conversion costs one round, so a chain of s
+    // applications rules out algorithms of T = s − 1 rounds, provided the
+    // final k* still satisfies the 0-round impossibility k* ≤ (Δ−3)/2.
+    // The paper guarantees k* ≤ log Δ ≤ (Δ−3)/2 for Δ > 16.
+    if *delta <= Tower::from_u128(16) {
+        // The paper's endgame needs Δ > 16 (so that log Δ ≤ (Δ−3)/2).
+        return None;
+    }
+    let cap = delta.log_star() as usize + 2;
+    let steps = speedup_rounds(delta, 2, cap);
+    // Impossibility requires the final parameter k* ≤ log Δ ≤ (Δ−3)/2;
+    // keep the longest prefix of the chain whose endpoint obeys it (each
+    // dropped step costs one round; dropping is sound for a lower bound).
+    let log_delta = delta.log2()?;
+    let (s, k_star) = steps
+        .iter()
+        .skip(1)
+        .filter(|st| st.k <= log_delta)
+        .map(|st| (st.round, st.k.clone()))
+        .last()?;
+    if s == 0 {
+        return None;
+    }
+    Some((s - 1, k_star))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_condition_matches_paper_threshold() {
+        // k = 2: threshold 2^17.
+        let k2 = Tower::from_u128(2);
+        assert!(step_condition(&Tower::from_u128(1 << 17), &k2));
+        assert!(!step_condition(&Tower::from_u128((1 << 17) - 1), &k2));
+        // k = 3: threshold 2^65.
+        let k3 = Tower::from_u128(3);
+        assert!(step_condition(&Tower::from_u128(1 << 65), &k3));
+        assert!(!step_condition(&Tower::from_u128(u64::MAX as u128), &k3));
+    }
+
+    #[test]
+    fn next_k_is_five_exponentials() {
+        let k1 = next_k(&Tower::from_u128(2));
+        // F⁵(2) = 2^2^2^2^4 = 2^2^65536.
+        assert_eq!(k1, Tower::from_u128(65536).pow2().pow2());
+        assert_eq!(k1.log_star(), Tower::from_u128(2).log_star() + 5);
+    }
+
+    #[test]
+    fn speedup_rounds_growth() {
+        // Δ = 2^17: exactly one application (k jumps to 2^2^65536,
+        // hopelessly beyond the next threshold).
+        let steps = speedup_rounds(&Tower::from_u128(1 << 17), 2, 100);
+        assert_eq!(steps.last().unwrap().round, 1);
+        // Δ = 2↑↑7: log*(Δ) = 7; a couple of applications fit.
+        let big = Tower::tower_of_twos(12);
+        let steps = speedup_rounds(&big, 2, 100);
+        assert!(steps.last().unwrap().round >= 2, "{steps:?}");
+    }
+
+    #[test]
+    fn rounds_grow_like_log_star_over_5() {
+        // Shape check of Theorem 4: rounds(Δ) ≥ (log*Δ − 7)/5 and rounds
+        // increase without bound along a tower sweep.
+        let mut prev = 0usize;
+        for h in [6u32, 12, 18, 24, 40, 60] {
+            let delta = Tower::tower_of_twos(h);
+            let steps = speedup_rounds(&delta, 2, 1000);
+            let rounds = steps.last().unwrap().round;
+            let log_star = delta.log_star() as isize;
+            assert!(
+                rounds as isize >= (log_star - 7) / 5,
+                "h={h}: rounds={rounds}, log*={log_star}"
+            );
+            assert!(rounds >= prev, "monotone in Δ");
+            prev = rounds;
+        }
+        assert!(prev >= 8, "the sweep should reach several rounds, got {prev}");
+    }
+
+    #[test]
+    fn impossibility_witness_conditions() {
+        // Δ = 17, k* ≤ 7.
+        let w = zero_round_impossibility(7, 17).unwrap();
+        assert_eq!(w.in_ports, 8);
+        assert_eq!(w.out_ports, 9);
+        assert!(w.in_ports > w.k_star && w.out_ports > w.k_star);
+        // k* too large.
+        assert!(zero_round_impossibility(8, 17).is_none());
+        // Even degree: the argument needs odd Δ.
+        assert!(zero_round_impossibility(2, 16).is_none());
+        assert!(zero_round_impossibility(0, 1).is_none());
+    }
+
+    #[test]
+    fn weak2_lower_bound_positive_for_large_delta() {
+        // Δ = 2^17 admits one application ⇒ bound T ≥ 0 only; bigger Δ
+        // gives positive bounds.
+        let (t, k_star) = weak2_lower_bound(&Tower::tower_of_twos(14)).unwrap();
+        assert!(t >= 1, "t={t}");
+        assert!(k_star <= Tower::tower_of_twos(14).log2().unwrap());
+        // Tiny Δ: no bound.
+        assert!(weak2_lower_bound(&Tower::from_u128(16)).is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! The Theorem 4 pipeline, end to end: a single entry point that chains
+//! every ingredient of the weak-2-coloring lower bound and returns a
+//! structured, self-describing certificate.
+//!
+//! The chain (§5.2):
+//!
+//! 1. a T-round weak-2-coloring algorithm yields a (T+1)-round algorithm
+//!    for the pointer version, which *is* a superweak 2-coloring
+//!    algorithm;
+//! 2. while `Δ ≥ 2^{4^{k_i}+1}`, Lemma 4 trades one round for the jump
+//!    `k_{i+1} = F⁵(k_i)`;
+//! 3. if the chain reaches 0 rounds with `k* ≤ log Δ ≤ (Δ−3)/2`, the
+//!    §5.2 pigeonhole wiring argument yields a contradiction.
+//!
+//! Hence no algorithm with `T + 1 ≤ chain length` exists.
+
+use crate::lowerbound::{speedup_rounds, zero_round_impossibility, SpeedupStep};
+use crate::tower::Tower;
+use std::fmt;
+
+/// A machine-checked certificate of the Theorem 4 lower bound at a given
+/// degree.
+#[derive(Debug, Clone)]
+pub struct Theorem4Certificate {
+    /// The degree Δ (exact tower value).
+    pub delta: Tower,
+    /// `log* Δ`.
+    pub log_star_delta: u32,
+    /// The Lemma 4 chain: `k` after each application.
+    pub chain: Vec<SpeedupStep>,
+    /// The final superweak parameter `k*` (still ≤ log Δ).
+    pub k_star: Tower,
+    /// The certified statement: every weak-2-coloring algorithm needs
+    /// **more than** this many rounds on Δ-regular odd-degree graphs.
+    pub ruled_out_rounds: usize,
+    /// The paper's comparison value `(log* Δ − 7)/5`.
+    pub paper_bound: i64,
+}
+
+impl fmt::Display for Theorem4Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Theorem 4 certificate for Δ = {} (log* Δ = {}):",
+            self.delta, self.log_star_delta
+        )?;
+        for step in &self.chain {
+            writeln!(f, "  after {} Lemma-4 application(s): superweak k = {}", step.round, step.k)?;
+        }
+        writeln!(
+            f,
+            "  k* = {} ≤ log Δ; §5.2 impossibility applies ⇒ T(Δ) > {} \
+             (paper shape: (log*Δ−7)/5 = {})",
+            self.k_star, self.ruled_out_rounds, self.paper_bound
+        )
+    }
+}
+
+/// Why a certificate could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Δ too small for even one Lemma 4 application (Δ < 2^17).
+    DegreeTooSmall,
+    /// The chain exists but its endpoint exceeds `log Δ`, and no usable
+    /// prefix remains.
+    NoUsablePrefix,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::DegreeTooSmall => {
+                write!(f, "degree below 2^(4^2+1) = 2^17: no Lemma 4 application possible")
+            }
+            PipelineError::NoUsablePrefix => {
+                write!(f, "no chain prefix ends with k* ≤ log Δ")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Runs the full Theorem 4 pipeline for degree Δ and returns the
+/// certificate, re-verifying every side condition.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the hypotheses fail (tiny Δ).
+pub fn theorem4(delta: &Tower) -> Result<Theorem4Certificate, PipelineError> {
+    if *delta <= Tower::from_u128(16) {
+        return Err(PipelineError::DegreeTooSmall);
+    }
+    let cap = delta.log_star() as usize + 2;
+    let chain_all = speedup_rounds(delta, 2, cap);
+    let log_delta = delta.log2().expect("Δ ≥ 1");
+    // Longest prefix whose endpoint obeys k* ≤ log Δ.
+    let mut chain: Vec<SpeedupStep> = Vec::new();
+    for step in &chain_all {
+        if step.round == 0 || step.k <= log_delta {
+            chain.push(step.clone());
+        } else {
+            break;
+        }
+    }
+    let last = chain.last().cloned().ok_or(PipelineError::NoUsablePrefix)?;
+    if last.round == 0 {
+        return Err(PipelineError::DegreeTooSmall);
+    }
+    // Re-verify the §5.2 endgame when k* is numeric (it always is for
+    // small Δ; for tower-sized k* the inequality k* ≤ log Δ ≤ (Δ−3)/2 is
+    // checked in tower arithmetic instead).
+    if let (Some(k_star), Some(d)) = (last.k.as_u128(), delta.as_u128()) {
+        let odd_d = if d % 2 == 0 { d - 1 } else { d };
+        if zero_round_impossibility(k_star, odd_d).is_none() {
+            return Err(PipelineError::NoUsablePrefix);
+        }
+    }
+    let log_star_delta = delta.log_star();
+    Ok(Theorem4Certificate {
+        delta: delta.clone(),
+        log_star_delta,
+        k_star: last.k.clone(),
+        ruled_out_rounds: last.round - 1,
+        paper_bound: (log_star_delta as i64 - 7) / 5,
+        chain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certificate_for_tower_degrees() {
+        for h in [10u32, 20, 40] {
+            let delta = Tower::tower_of_twos(h);
+            let cert = theorem4(&delta).unwrap();
+            assert!(cert.ruled_out_rounds as i64 + 1 >= cert.paper_bound, "h={h}");
+            assert!(cert.k_star <= delta.log2().unwrap());
+            assert_eq!(cert.log_star_delta, h);
+            assert!(!cert.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn bound_grows_with_degree() {
+        let small = theorem4(&Tower::tower_of_twos(12)).unwrap();
+        let large = theorem4(&Tower::tower_of_twos(60)).unwrap();
+        assert!(large.ruled_out_rounds > small.ruled_out_rounds);
+    }
+
+    #[test]
+    fn tiny_degrees_rejected() {
+        assert!(matches!(theorem4(&Tower::from_u128(16)), Err(PipelineError::DegreeTooSmall)));
+        assert!(matches!(theorem4(&Tower::from_u128(1000)), Err(PipelineError::DegreeTooSmall)));
+    }
+}

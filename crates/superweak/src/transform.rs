@@ -1,0 +1,306 @@
+//! Lemma 3: transforming a Π'₁ output into a superweak k′-coloring output.
+//!
+//! Given an algorithm A solving Π'₁ (the speedup of superweak k-coloring)
+//! in t rounds, each node can — with **zero** extra communication — convert
+//! its A-output into a superweak k′-coloring output, `k′ = 2^{2^{5^k}}`:
+//!
+//! * the **color** is an injective function of `R_v`, the multiset of pairs
+//!   `(Q_i, β(i))` where `β` is the port orientation for non-P∞ ports and
+//!   `none` for P∞ ports;
+//! * the **pointers** come from Lemma 2's `J*` (demanding →) and `N(J*)`
+//!   (accepting ();
+//! * canonicity: `J*` is computed on a canonical reordering of the ports so
+//!   that nodes with equal `R_v` select the same *multiset* of
+//!   `(Q_i, β(i))` pairs — the property the correctness proof relies on.
+//!
+//! Colors are represented as opaque byte strings ([`ColorId`]); the paper's
+//! `{1, …, k′}` indexing is an arbitrary injection, and `k′` is
+//! astronomically large, so canonical serialization *is* the injection.
+
+use crate::h1::NodeOutput;
+use crate::lemma1::find_p_infinity;
+use crate::lemma2::{lemma2, Lemma2Error, Lemma2Outcome, Orientation, PointerSets};
+use crate::tower::Tower;
+use crate::trit::TritSet;
+
+/// An injectively-encoded superweak color (canonical bytes of `R_v`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColorId(Vec<u8>);
+
+impl ColorId {
+    /// The raw canonical bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// The β entry of `R_v`: the orientation for non-P∞ ports, `none` for P∞.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Beta {
+    /// Non-P∞ port oriented away.
+    Out,
+    /// Non-P∞ port oriented towards.
+    In,
+    /// P∞ port (orientation deliberately forgotten).
+    None,
+}
+
+/// The superweak pointer a port carries after the transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pointer {
+    /// Demanding pointer →.
+    Demanding,
+    /// Accepting pointer (.
+    Accepting,
+    /// No pointer •.
+    None,
+}
+
+/// A node's transformed output: one color plus one pointer per port.
+#[derive(Debug, Clone)]
+pub struct SuperweakOutput {
+    /// The node's color (identical on every port).
+    pub color: ColorId,
+    /// Pointer per port.
+    pub pointers: Vec<Pointer>,
+}
+
+impl SuperweakOutput {
+    /// Number of demanding pointers.
+    pub fn demanding_count(&self) -> usize {
+        self.pointers.iter().filter(|p| matches!(p, Pointer::Demanding)).count()
+    }
+
+    /// Number of accepting pointers.
+    pub fn accepting_count(&self) -> usize {
+        self.pointers.iter().filter(|p| matches!(p, Pointer::Accepting)).count()
+    }
+}
+
+/// The transformation result, or the certified reason it cannot apply.
+#[derive(Debug, Clone)]
+pub enum TransformOutcome {
+    /// The Lemma 3 output.
+    Output(SuperweakOutput),
+    /// The node's A-output is certifiably not in `h₁(Δ)` — A did not solve
+    /// Π'₁ (carries the explicit Property A violation).
+    NotInH1(crate::h1::PropertyAViolation),
+}
+
+/// Computes `R_v` as a sorted multiset of `(set, β)` pairs.
+fn r_v(q: &NodeOutput, alpha: &[Orientation], p_inf: u32) -> Vec<(TritSet, Beta)> {
+    let mut r: Vec<(TritSet, Beta)> = (0..q.delta())
+        .map(|p| {
+            let beta = if q.id_at(p) == p_inf {
+                Beta::None
+            } else {
+                match alpha[p] {
+                    Orientation::Out => Beta::Out,
+                    Orientation::In => Beta::In,
+                }
+            };
+            (q.set_at(p).clone(), beta)
+        })
+        .collect();
+    r.sort();
+    r
+}
+
+/// Canonically serializes `R_v` into a color id. Injective by construction
+/// (length-prefixed encoding of a sorted multiset).
+fn color_of(r: &[(TritSet, Beta)]) -> ColorId {
+    let mut bytes = Vec::new();
+    for (set, beta) in r {
+        bytes.push(match beta {
+            Beta::Out => 0u8,
+            Beta::In => 1,
+            Beta::None => 2,
+        });
+        bytes.extend_from_slice(&(set.len() as u32).to_be_bytes());
+        for t in set.iter() {
+            bytes.extend_from_slice(&(t.trits().len() as u32).to_be_bytes());
+            bytes.extend_from_slice(t.trits());
+        }
+    }
+    ColorId(bytes)
+}
+
+/// Lemma 3's per-node output transformation.
+///
+/// Runs Lemma 2 on a canonical reordering of the ports (sorted by
+/// `(set, α)`), maps the resulting `J*`/`N(J*)` back to the original port
+/// numbering, and assembles the superweak output. Zero communication.
+///
+/// # Errors
+///
+/// Propagates [`Lemma2Error`] when the hypotheses are unmet.
+pub fn transform_output(
+    q: &NodeOutput,
+    alpha: &[Orientation],
+) -> Result<TransformOutcome, Lemma2Error> {
+    let delta = q.delta();
+    if alpha.len() != delta {
+        return Err(Lemma2Error::AlphaLength { expected: delta, found: alpha.len() });
+    }
+    let p_inf = find_p_infinity(q)?;
+
+    // Canonical port order: sort by (set, α). Nodes with equal R_v agree
+    // on this sorted sequence, hence on the selected multisets.
+    let mut order: Vec<usize> = (0..delta).collect();
+    order.sort_by(|&a, &b| {
+        (q.set_at(a), alpha[a]).cmp(&(q.set_at(b), alpha[b]))
+    });
+    let sorted_sets: Vec<TritSet> = order.iter().map(|&p| q.set_at(p).clone()).collect();
+    let sorted_alpha: Vec<Orientation> = order.iter().map(|&p| alpha[p]).collect();
+    let q_sorted = NodeOutput::new(sorted_sets);
+
+    let pointers_sorted: PointerSets = match lemma2(&q_sorted, &sorted_alpha)? {
+        Lemma2Outcome::Pointers(ps) => ps,
+        Lemma2Outcome::NotInH1(v) => {
+            // Translate the violation back to the original port order.
+            let mut choice = vec![None; delta];
+            for (sorted_ix, t) in v.choice.into_iter().enumerate() {
+                choice[order[sorted_ix]] = Some(t);
+            }
+            let violation = crate::h1::PropertyAViolation {
+                choice: choice.into_iter().map(|c| c.expect("complete")).collect(),
+            };
+            return Ok(TransformOutcome::NotInH1(violation));
+        }
+    };
+
+    let mut pointers = vec![Pointer::None; delta];
+    for &sp in &pointers_sorted.j_star {
+        pointers[order[sp]] = Pointer::Demanding;
+    }
+    for &sp in &pointers_sorted.n_j_star {
+        pointers[order[sp]] = Pointer::Accepting;
+    }
+
+    let color = color_of(&r_v(q, alpha, p_inf));
+    Ok(TransformOutcome::Output(SuperweakOutput { color, pointers }))
+}
+
+/// The paper's `k′ = 2^{2^{5^k}}` bound on the number of colors the
+/// transformation can emit (Lemma 3 / Lemma 4), as an exact [`Tower`]
+/// (`k ≤ 55`, where `5^k` fits `u128`).
+pub fn k_prime(k: usize) -> Option<Tower> {
+    let five_k = 5u128.checked_pow(k as u32)?;
+    Some(Tower::from_u128(five_k).pow2().pow2())
+}
+
+/// The paper's counting bound `|H₁(Δ)| ≤ (3·2^{3^k})^{2^{4^k}+1}`, as an
+/// exact log₂ bound: returns `log₂` of the bound (`(2^{4^k}+1)·(log₂3 +
+/// 3^k)` rounded up to `(2^{4^k}+1)·(2 + 3^k)`), for comparing against
+/// `log₂ k′ = 2^{5^k}`.
+pub fn h1_count_log2_bound(k: usize) -> Option<Tower> {
+    let three_k = 3u128.checked_pow(k as u32)?;
+    let four_k = 4u128.checked_pow(k as u32)?;
+    let base_log = three_k.checked_add(2)?; // log2(3·2^{3^k}) ≤ 3^k + 2
+    let count = 1u128.checked_shl(four_k.try_into().ok()?)?.checked_add(1)?;
+    Some(Tower::from_u128(base_log.checked_mul(count)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trit::TritSeq;
+
+    fn t(s: &str) -> TritSeq {
+        TritSeq::new(s.bytes().map(|b| b - b'0').collect()).unwrap()
+    }
+
+    fn alt_alpha(delta: usize) -> Vec<Orientation> {
+        (0..delta).map(|i| if i % 2 == 0 { Orientation::Out } else { Orientation::In }).collect()
+    }
+
+    fn exotic_example(delta: usize) -> (NodeOutput, Vec<Orientation>) {
+        let exotic = TritSet::new([t("21")]);
+        let p_inf = TritSet::new([t("11"), t("22")]);
+        let mut per_port = vec![p_inf; delta];
+        per_port[0] = exotic.clone();
+        per_port[2] = exotic.clone();
+        per_port[4] = exotic;
+        (NodeOutput::new(per_port), alt_alpha(delta))
+    }
+
+    #[test]
+    fn transform_produces_valid_superweak_shape() {
+        let delta = (1 << 17) + 8;
+        let (q, alpha) = exotic_example(delta);
+        match transform_output(&q, &alpha).unwrap() {
+            TransformOutcome::Output(out) => {
+                assert!(out.demanding_count() > out.accepting_count());
+                assert_eq!(out.pointers.len(), delta);
+                // accepting count bounded by the Lemma 1 slack 2^{4^k}
+                assert!(out.accepting_count() <= 1 << 16);
+            }
+            other => panic!("expected output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equal_r_v_implies_equal_color_and_pointer_multiset() {
+        let delta = (1 << 17) + 8;
+        let (q, alpha) = exotic_example(delta);
+        // Permute ports while keeping (set, α) multiset fixed: swap the
+        // exotic ports 0 and 2 (both Out), and two P∞ ports 6, 8.
+        let mut per_port2: Vec<TritSet> = (0..delta).map(|p| q.set_at(p).clone()).collect();
+        per_port2.swap(0, 2);
+        per_port2.swap(6, 8);
+        let q2 = NodeOutput::new(per_port2);
+        let o1 = match transform_output(&q, &alpha).unwrap() {
+            TransformOutcome::Output(o) => o,
+            _ => unreachable!(),
+        };
+        let o2 = match transform_output(&q2, &alpha).unwrap() {
+            TransformOutcome::Output(o) => o,
+            _ => unreachable!(),
+        };
+        assert_eq!(o1.color, o2.color);
+        assert_eq!(o1.demanding_count(), o2.demanding_count());
+        assert_eq!(o1.accepting_count(), o2.accepting_count());
+    }
+
+    #[test]
+    fn different_r_v_implies_different_color() {
+        let delta = (1 << 17) + 8;
+        let (q, alpha) = exotic_example(delta);
+        let exotic2 = TritSet::new([t("12")]);
+        let mut per_port2: Vec<TritSet> = (0..delta).map(|p| q.set_at(p).clone()).collect();
+        per_port2[0] = exotic2;
+        let q2 = NodeOutput::new(per_port2);
+        let o1 = match transform_output(&q, &alpha).unwrap() {
+            TransformOutcome::Output(o) => o,
+            _ => unreachable!(),
+        };
+        let o2 = match transform_output(&q2, &alpha).unwrap() {
+            TransformOutcome::Output(o) => o,
+            _ => unreachable!(),
+        };
+        assert_ne!(o1.color, o2.color);
+    }
+
+    #[test]
+    fn not_in_h1_propagates_with_original_port_order() {
+        let delta = (1 << 17) + 8;
+        let p_inf = TritSet::new([t("11"), t("22"), t("00"), t("20"), t("02")]);
+        let mut per_port = vec![p_inf; delta];
+        per_port[5] = TritSet::new([t("20")]); // pairs with P∞, kills Property A
+        let q = NodeOutput::new(per_port);
+        match transform_output(&q, &alt_alpha(delta)).unwrap() {
+            TransformOutcome::NotInH1(v) => assert!(v.verify(&q)),
+            other => panic!("expected NotInH1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn k_prime_dominates_h1_count() {
+        // Lemma 3's counting step: |H₁(Δ)| ≤ k′ for k = 2 (and 3).
+        for k in 2..=3 {
+            let log_bound = h1_count_log2_bound(k).unwrap();
+            let log_k_prime = k_prime(k).unwrap().log2().unwrap();
+            assert!(log_bound <= log_k_prime, "k={k}: {log_bound} vs {log_k_prime}");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! F1/F2: ASCII renderings of the paper's two figures, backed by real
+//! objects from the library.
+//!
+//! * Figure 1 illustrates t-independence: the extension sets of a node's
+//!   radius-(t−1) view along different incident edges are independent. We
+//!   demonstrate it concretely on proper-colored rings: the set of valid
+//!   right extensions of a window does not depend on which left extension
+//!   was fixed.
+//! * Figure 2 shows a locally correct superweak coloring on a Δ = 3
+//!   graph; we construct one and validate it with the checker.
+//!
+//! ```sh
+//! cargo run --example figures
+//! ```
+
+use roundelim::core::label::Label;
+use roundelim::problems::weak::superweak_coloring;
+use roundelim::sim::checker::check;
+use roundelim::sim::graph::PortGraph;
+use roundelim::sim::ring::RingClass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("F1 — t-independence (Figure 1), demonstrated on colored rings\n");
+    let class = RingClass::proper_coloring(3);
+    let window = vec![0usize, 1, 2]; // a radius-1 view of the middle node
+    println!("fixed radius-(t−1) view: {window:?}");
+    let rights_unconditional = class.right_extensions(&window);
+    println!("right extensions (unconditional): {rights_unconditional:?}");
+    for left in class.left_extensions(&window) {
+        let mut extended = vec![left];
+        extended.extend_from_slice(&window);
+        let rights = class.right_extensions(&extended);
+        println!("after fixing left extension {left}: right extensions {rights:?}");
+        assert_eq!(rights, rights_unconditional, "independence must hold");
+    }
+    println!("→ fixing one side never changes the other side's extension set ✓");
+    println!("  (with unique IDs this FAILS — an ID seen left cannot reappear right —");
+    println!("   which is exactly why Theorem 3 needs order-invariance.)\n");
+
+    println!("F2 — a locally correct superweak 2-coloring, Δ = 3 (Figure 2)\n");
+    // K4 is 3-regular; build an output: each node points at its successor
+    // in a cyclic order (demanding), accepts from its predecessor.
+    let g = PortGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        .expect("K4");
+    let p = superweak_coloring(2, 3)?;
+    // Labels: [1→, 1(, 1•, 2→, 2(, 2•] in interning order.
+    let l = |name: &str| p.alphabet().require(name).expect("label");
+    // Give nodes alternating colors and a demanding/accepting pointer pair
+    // along the cycle 0→1→2→3→0 (each node: 2 demanding? one demanding,
+    // one accepting, one dot — 1 > … wait: need #demanding > #accepting:
+    // use two demanding + one accepting is invalid (2 > 1 ✓ but check the
+    // receiving side); simplest valid: colors alternate so most edges are
+    // bichromatic.
+    let colors = [1usize, 2, 1, 2];
+    let mut outputs: Vec<Vec<Label>> = Vec::new();
+    for v in 0..4 {
+        let c = colors[v];
+        let succ = (v + 1) % 4; // demanding pointer target (different color)
+        let mut row = Vec::new();
+        for t in g.ports(v) {
+            let name = if t.node == succ { format!("{c}→") } else { format!("{c}•") };
+            row.push(l(&name));
+        }
+        outputs.push(row);
+    }
+    let violations = check(&p, &g, &outputs);
+    println!("     1•———2•        colors: node0=1 node1=2 node2=1 node3=2");
+    println!("    ╱ ╲  ╱ ╲        demanding pointers: 0→1→2→3→0 (always to the");
+    println!("   0→——╳——→2        other color, so every → is satisfied)");
+    println!("    ╲ ╱  ╲ ╱ ");
+    println!("     3———┘   ");
+    println!("checker violations: {}", violations.len());
+    for v in &violations {
+        println!("  - {v}");
+    }
+    assert!(violations.is_empty(), "the Figure 2 output must validate");
+    println!("→ locally correct superweak 2-coloring validated ✓");
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! E4–E6 (§5.1): the superweak pipeline — Lemma 1 (P∞), Lemma 2
+//! (J*/N(J*) dichotomy with verified witnesses), Lemma 3 (output
+//! transformation and the k′ counting bound).
+//!
+//! ```sh
+//! cargo run --example superweak_lemmas
+//! ```
+
+use roundelim::superweak::h1::NodeOutput;
+use roundelim::superweak::lemma1::{delta_requirement, find_p_infinity, multiplicity_slack};
+use roundelim::superweak::lemma2::{lemma2, Lemma2Outcome, Orientation};
+use roundelim::superweak::transform::{h1_count_log2_bound, k_prime, transform_output, TransformOutcome};
+use roundelim::superweak::trit::{TritSeq, TritSet};
+
+fn t(s: &str) -> TritSeq {
+    TritSeq::new(s.bytes().map(|b| b - b'0').collect()).expect("valid trits")
+}
+
+fn alt_alpha(delta: usize) -> Vec<Orientation> {
+    (0..delta).map(|i| if i % 2 == 0 { Orientation::Out } else { Orientation::In }).collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 2usize;
+    let delta = (1usize << 17) + 9;
+    println!("E4 — Lemma 1 at k = {k}, Δ = {delta}");
+    println!("  degree requirement 2^(4^k+1) = {}", delta_requirement(k).unwrap());
+    println!("  multiplicity slack 2^(4^k)   = {}", multiplicity_slack(k));
+
+    // A structured Π'₁ output: P∞ dominant plus a few exotic ports.
+    let p_inf = TritSet::new([t("11"), t("22")]);
+    let exotic = TritSet::new([t("21")]);
+    let mut per_port = vec![p_inf.clone(); delta];
+    for p in [0usize, 2, 4] {
+        per_port[p] = exotic.clone();
+    }
+    let q = NodeOutput::new(per_port);
+    let pi = find_p_infinity(&q)?;
+    println!(
+        "  P∞ found: set {} with multiplicity {} ≥ Δ − 2^16 ✓ (contains 11…1: {})",
+        q.distinct_sets()[pi as usize],
+        q.multiplicities()[pi as usize],
+        q.distinct_sets()[pi as usize].contains_all_ones()
+    );
+
+    println!("\nE5 — Lemma 2 dichotomy");
+    let alpha = alt_alpha(delta);
+    match lemma2(&q, &alpha)? {
+        Lemma2Outcome::Pointers(ps) => {
+            println!(
+                "  J* = {:?} (demanding), N(J*) = {:?} (accepting): |J*| = {} > |N(J*)| = {} ✓",
+                ps.j_star,
+                ps.n_j_star,
+                ps.j_star.len(),
+                ps.n_j_star.len()
+            );
+            assert!(ps.verify(&q, &alpha, pi));
+            println!("  witness verified against the Lemma 2 guarantees ✓");
+        }
+        Lemma2Outcome::NotInH1(v) => {
+            println!("  explicit Property A violation found (Q ∉ h₁): verified = {}", v.verify(&q));
+        }
+    }
+
+    // The other branch: a balanced output that is certifiably not in h₁.
+    let rich = TritSet::new([t("11"), t("22"), t("00"), t("20"), t("02")]);
+    let mut per_port = vec![rich; delta];
+    per_port[5] = TritSet::new([t("20")]);
+    let q_bad = NodeOutput::new(per_port);
+    match lemma2(&q_bad, &alpha)? {
+        Lemma2Outcome::NotInH1(v) => {
+            println!("  balanced output: certified Q ∉ h₁ (violation verifies: {}) ✓", v.verify(&q_bad));
+        }
+        Lemma2Outcome::Pointers(_) => println!("  unexpected pointers"),
+    }
+
+    println!("\nE6 — Lemma 3 transformation and counting bound");
+    match transform_output(&q, &alpha)? {
+        TransformOutcome::Output(out) => {
+            println!(
+                "  superweak output: color of {} bytes, {} demanding > {} accepting pointers ✓",
+                out.color.bytes().len(),
+                out.demanding_count(),
+                out.accepting_count()
+            );
+        }
+        TransformOutcome::NotInH1(_) => println!("  unexpected violation"),
+    }
+    for kk in [2usize, 3] {
+        let log_h1 = h1_count_log2_bound(kk).unwrap();
+        let kp = k_prime(kk).unwrap();
+        println!(
+            "  k = {kk}: log₂|H₁(Δ)| ≤ {log_h1} ≤ log₂ k′ = {} (k′ = 2^2^5^k) ✓",
+            kp.log2().unwrap()
+        );
+        assert!(log_h1 <= kp.log2().unwrap());
+    }
+    Ok(())
+}

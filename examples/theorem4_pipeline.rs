@@ -1,0 +1,28 @@
+//! E7 (continued): the Theorem 4 pipeline as a single call producing a
+//! self-describing, machine-checked certificate.
+//!
+//! ```sh
+//! cargo run --example theorem4_pipeline
+//! ```
+
+use roundelim::superweak::pipeline::theorem4;
+use roundelim::superweak::tower::Tower;
+
+fn main() {
+    println!("E7 — Theorem 4 pipeline certificates\n");
+    for h in [8u32, 14, 24, 60] {
+        let delta = Tower::tower_of_twos(h);
+        match theorem4(&delta) {
+            Ok(cert) => {
+                println!("{cert}");
+                assert!(cert.ruled_out_rounds as i64 + 1 >= cert.paper_bound);
+            }
+            Err(e) => println!("Δ = 2↑↑{h}: {e}\n"),
+        }
+    }
+    // And the failure mode for small degrees.
+    match theorem4(&Tower::from_u128(1 << 16)) {
+        Err(e) => println!("Δ = 2^16: {e} (as expected — the paper needs Δ ≥ 2^17)"),
+        Ok(_) => unreachable!("2^16 is below the first Lemma 4 threshold"),
+    }
+}

@@ -1,0 +1,49 @@
+//! E8b: Theorem 1 executable on Δ-regular **trees** (t = 1) — beyond the
+//! ring case, on the graph class the paper's lower bounds actually live
+//! on (high girth, here infinite).
+//!
+//! A 1-round algorithm reducing a proper 5-coloring to a 4-coloring on
+//! 3-regular trees is sped up to a verified 0-round algorithm for
+//! Π'₁(4-coloring).
+//!
+//! ```sh
+//! cargo run --example tree_theorem
+//! ```
+
+use roundelim::core::label::Label;
+use roundelim::core::speedup::full_step;
+use roundelim::problems::coloring::coloring;
+use roundelim::sim::tree::{
+    check_tree_algorithm, derive_half_tree, derive_one_tree, TreeAlgorithm, TreeClass,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E8b — executable Theorem 1 on 3-regular trees (t = 1)\n");
+    let class = TreeClass::new(5, 3)?;
+    let a = TreeAlgorithm::from_fn(&class, |own, _port, nbrs| {
+        let color =
+            if own == 4 { (0..4).find(|c| !nbrs.contains(c)).expect("room") } else { own };
+        Label::from_index(color)
+    });
+    let p4 = coloring(4, 3)?;
+    check_tree_algorithm(&a, &p4, &class)?;
+    println!("A (1 round) solves 4-coloring on proper-5-colored 3-regular trees ✓");
+
+    let step = full_step(&p4)?;
+    println!(
+        "Π'₁(4-coloring, Δ=3): {} labels, |node| = {}, |edge| = {}",
+        step.problem().alphabet().len(),
+        step.problem().node().len(),
+        step.problem().edge().len()
+    );
+    let eh = derive_half_tree(&a, &p4, &step, &class)?;
+    let a1 = derive_one_tree(&eh, &step, &class)?;
+    println!("Derived A₁ (0 rounds) solves Π'₁ ✓  — node + adversarial-wiring edge checks passed");
+    for (color, out) in a1.outputs.iter().enumerate() {
+        let names: Vec<&str> =
+            out.iter().map(|&l| step.problem().alphabet().name(l)).collect();
+        println!("  own color {color} ↦ per-port Π'₁ labels {names:?}");
+    }
+    println!("\nTheorem 1 (1) ⇒ (2) verified on trees — the high-girth regime of the paper ✓");
+    Ok(())
+}

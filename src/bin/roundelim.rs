@@ -1,0 +1,178 @@
+//! `roundelim` — the command-line front end to the automatic speedup
+//! engine (Brandt, PODC 2019).
+//!
+//! ```text
+//! roundelim zoo                          list the problem families
+//! roundelim show <family> [k] [Δ]        print a family instance
+//! roundelim speedup <file|family:k:Δ>    one speedup step, with provenance
+//! roundelim iterate <file|family:k:Δ> [--steps N]
+//!                                        iterate to a verdict (§2.1 roadmap)
+//! roundelim zero-round <file|family:k:Δ> both 0-round deciders
+//! roundelim iso <fileA> <fileB>          isomorphism check
+//! roundelim relax <fileA> <fileB>        relaxation witness A ⟶ B
+//! ```
+//!
+//! Problem files use the text format of `roundelim_core::parser`; the
+//! `family:k:Δ` shorthand instantiates a zoo family, e.g.
+//! `coloring:3:2` or `sinkless-orientation::4` (empty k for families that
+//! ignore it).
+
+use roundelim::core::fmt::{problem_table, sequence_report, step_report};
+use roundelim::core::iso::isomorphism;
+use roundelim::core::problem::Problem;
+use roundelim::core::relax::relaxation_map;
+use roundelim::core::sequence::iterate;
+use roundelim::core::speedup::full_step;
+use roundelim::core::zero_round::{zero_round_oriented, zero_round_pn};
+use roundelim::problems::registry::{families, family};
+use std::process::ExitCode;
+
+fn load(spec: &str) -> Result<Problem, String> {
+    if let Ok(text) = std::fs::read_to_string(spec) {
+        return Problem::parse(&text).map_err(|e| format!("{spec}: {e}"));
+    }
+    // family:k:Δ shorthand
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() == 3 {
+        let f = family(parts[0]).map_err(|e| e.to_string())?;
+        let k: usize = if parts[1].is_empty() { 0 } else { parts[1].parse().map_err(|_| format!("bad k `{}`", parts[1]))? };
+        let d: usize = parts[2].parse().map_err(|_| format!("bad Δ `{}`", parts[2]))?;
+        return f.instantiate(k, d).map_err(|e| e.to_string());
+    }
+    Err(format!("`{spec}` is neither a readable file nor a family:k:Δ spec"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  roundelim zoo\n  roundelim show <family> [k] [Δ]\n  \
+         roundelim speedup <file|family:k:Δ>\n  \
+         roundelim iterate <file|family:k:Δ> [--steps N]\n  \
+         roundelim zero-round <file|family:k:Δ>\n  \
+         roundelim iso <fileA> <fileB>\n  roundelim relax <fileA> <fileB>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let result = match cmd.as_str() {
+        "zoo" => cmd_zoo(),
+        "show" => cmd_show(&args[1..]),
+        "speedup" => cmd_speedup(&args[1..]),
+        "iterate" => cmd_iterate(&args[1..]),
+        "zero-round" => cmd_zero_round(&args[1..]),
+        "iso" => cmd_iso(&args[1..]),
+        "relax" => cmd_relax(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_zoo() -> Result<(), String> {
+    println!("{:<22} {:<8} description", "family", "uses k");
+    for f in families() {
+        println!("{:<22} {:<8} {}", f.name, f.uses_k, f.description);
+    }
+    Ok(())
+}
+
+fn cmd_show(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("show: missing family name")?;
+    let f = family(name).map_err(|e| e.to_string())?;
+    let k = args.get(1).map_or(Ok(3), |s| s.parse().map_err(|_| "bad k".to_string()))?;
+    let d = args.get(2).map_or(Ok(3), |s| s.parse().map_err(|_| "bad Δ".to_string()))?;
+    let p = f.instantiate(k, d).map_err(|e| e.to_string())?;
+    print!("{}", problem_table(&p));
+    println!("\n# text format (machine readable):\n{}", p.to_text());
+    Ok(())
+}
+
+fn cmd_speedup(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("speedup: missing problem spec")?;
+    let p = load(spec)?;
+    let step = full_step(&p).map_err(|e| e.to_string())?;
+    print!("{}", step_report(&p, &step));
+    Ok(())
+}
+
+fn cmd_iterate(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("iterate: missing problem spec")?;
+    let p = load(spec)?;
+    let steps = match args.iter().position(|a| a == "--steps") {
+        Some(ix) => args
+            .get(ix + 1)
+            .ok_or("--steps needs a value")?
+            .parse()
+            .map_err(|_| "--steps needs an integer".to_string())?,
+        None => 8,
+    };
+    let seq = iterate(&p, steps).map_err(|e| e.to_string())?;
+    print!("{}", sequence_report(&seq));
+    Ok(())
+}
+
+fn cmd_zero_round(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("zero-round: missing problem spec")?;
+    let p = load(spec)?;
+    match zero_round_pn(&p) {
+        Some(w) => println!(
+            "plain PN:  SOLVABLE — every node outputs {}",
+            w.config.display(p.alphabet())
+        ),
+        None => println!("plain PN:  not 0-round solvable"),
+    }
+    match zero_round_oriented(&p) {
+        Some(w) => {
+            println!("oriented:  SOLVABLE — per-indegree plans:");
+            for (k, (ins, outs)) in w.plans.iter().enumerate() {
+                let fmt = |v: &[roundelim::core::label::Label]| {
+                    v.iter().map(|&l| p.alphabet().name(l)).collect::<Vec<_>>().join(" ")
+                };
+                println!("  indegree {k}: in-ports [{}], out-ports [{}]", fmt(ins), fmt(outs));
+            }
+        }
+        None => println!("oriented:  not 0-round solvable"),
+    }
+    Ok(())
+}
+
+fn cmd_iso(args: &[String]) -> Result<(), String> {
+    let (a, b) = two_problems(args, "iso")?;
+    match isomorphism(&a, &b) {
+        Some(m) => {
+            println!("isomorphic; label mapping:");
+            for l in a.alphabet().labels() {
+                println!("  {} ↦ {}", a.alphabet().name(l), b.alphabet().name(m[l.index()]));
+            }
+        }
+        None => println!("not isomorphic"),
+    }
+    Ok(())
+}
+
+fn cmd_relax(args: &[String]) -> Result<(), String> {
+    let (a, b) = two_problems(args, "relax")?;
+    match relaxation_map(&a, &b) {
+        Some(m) => {
+            println!("{} ⟶ {} (the second is at most as hard); witness:", a.name(), b.name());
+            for l in a.alphabet().labels() {
+                println!("  {} ↦ {}", a.alphabet().name(l), b.alphabet().name(m[l.index()]));
+            }
+        }
+        None => println!("no label-map relaxation witness found"),
+    }
+    Ok(())
+}
+
+fn two_problems(args: &[String], cmd: &str) -> Result<(Problem, Problem), String> {
+    let a = args.first().ok_or_else(|| format!("{cmd}: missing first problem"))?;
+    let b = args.get(1).ok_or_else(|| format!("{cmd}: missing second problem"))?;
+    Ok((load(a)?, load(b)?))
+}

@@ -1,0 +1,87 @@
+//! End-to-end tests of the `roundelim` CLI binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_roundelim"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("spawn roundelim");
+    assert!(
+        out.status.success(),
+        "roundelim {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn zoo_lists_all_families() {
+    let out = run_ok(&["zoo"]);
+    for name in ["coloring", "sinkless-orientation", "superweak-coloring", "mis"] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn show_renders_instance() {
+    let out = run_ok(&["show", "sinkless-orientation", "0", "4"]);
+    assert!(out.contains("Δ = 4"));
+    assert!(out.contains("node"));
+    assert!(out.contains("# text format"));
+}
+
+#[test]
+fn speedup_on_family_spec() {
+    let out = run_ok(&["speedup", "sinkless-coloring::3"]);
+    assert!(out.contains("Π'₁"));
+    assert!(out.contains("↦"));
+}
+
+#[test]
+fn iterate_reports_fixed_point() {
+    let out = run_ok(&["iterate", "sinkless-coloring::3", "--steps", "5"]);
+    assert!(out.contains("verdict"), "{out}");
+    assert!(out.contains("≅"), "{out}");
+}
+
+#[test]
+fn zero_round_both_models() {
+    let out = run_ok(&["zero-round", "maximal-matching::3"]);
+    assert!(out.contains("plain PN:  not 0-round solvable"));
+    assert!(out.contains("oriented:  not 0-round solvable"));
+}
+
+#[test]
+fn speedup_from_file() {
+    let dir = std::env::temp_dir().join("roundelim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("sc.problem");
+    std::fs::write(&file, "name: sc\nnode: 1 0 0\nedge: 0 0 | 0 1\n").unwrap();
+    let out = run_ok(&["speedup", file.to_str().unwrap()]);
+    assert!(out.contains("base problem"));
+}
+
+#[test]
+fn iso_and_relax_commands() {
+    let dir = std::env::temp_dir().join("roundelim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.problem");
+    let b = dir.join("b.problem");
+    std::fs::write(&a, "name: a\nnode: 1 0 0\nedge: 0 0 | 0 1\n").unwrap();
+    std::fs::write(&b, "name: b\nnode: X Y Y\nedge: Y Y | Y X\n").unwrap();
+    let out = run_ok(&["iso", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.contains("isomorphic"), "{out}");
+    let out = run_ok(&["relax", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.contains("witness"), "{out}");
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let out = cli().args(["speedup", "no-such-family:9:9"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    let out = cli().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+}

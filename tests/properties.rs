@@ -1,0 +1,204 @@
+//! Property-based tests (proptest) over the core engine's invariants.
+
+use proptest::prelude::*;
+use roundelim::core::config::{all_multisets, Config};
+use roundelim::core::constraint::Constraint;
+use roundelim::core::label::{Alphabet, Label};
+use roundelim::core::labelset::LabelSet;
+use roundelim::core::problem::Problem;
+use roundelim::core::speedup::universal::{
+    dominates, line_good, maximal_good_lines, maximal_good_lines_bruteforce,
+};
+use roundelim::core::speedup::{full_step, half_step_edge};
+
+/// A random small problem: Δ ∈ {2,3}, 2–4 labels, random constraints.
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (2usize..=3, 2usize..=4).prop_flat_map(|(delta, n_labels)| {
+        let node_space = all_multisets(n_labels, delta);
+        let edge_space = all_multisets(n_labels, 2);
+        let node_sel = proptest::collection::vec(any::<bool>(), node_space.len());
+        let edge_sel = proptest::collection::vec(any::<bool>(), edge_space.len());
+        (Just(delta), Just(n_labels), node_sel, edge_sel).prop_filter_map(
+            "nonempty constraints",
+            |(delta, n_labels, ns, es)| {
+                let node_space = all_multisets(n_labels, delta);
+                let edge_space = all_multisets(n_labels, 2);
+                let node: Vec<Config> = node_space
+                    .into_iter()
+                    .zip(&ns)
+                    .filter(|(_, &keep)| keep)
+                    .map(|(c, _)| c)
+                    .collect();
+                let edge: Vec<Config> = edge_space
+                    .into_iter()
+                    .zip(&es)
+                    .filter(|(_, &keep)| keep)
+                    .map(|(c, _)| c)
+                    .collect();
+                if node.is_empty() || edge.is_empty() {
+                    return None;
+                }
+                let alphabet =
+                    Alphabet::from_names((0..n_labels).map(|i| format!("L{i}"))).ok()?;
+                let node = Constraint::from_configs(delta, node).ok()?;
+                let edge = Constraint::from_configs(2, edge).ok()?;
+                Problem::new("random", alphabet, node, edge).ok()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The merge-closure engine agrees with brute force on every random
+    /// constraint (the core correctness property of the speedup).
+    #[test]
+    fn maximal_lines_match_bruteforce(p in arb_problem()) {
+        let universe = LabelSet::first_n(p.alphabet().len());
+        for c in [p.node(), p.edge()] {
+            let fast = maximal_good_lines(c);
+            let slow = maximal_good_lines_bruteforce(c, &universe);
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    /// Every maximal line is good, pairwise non-dominating, and made of
+    /// nonempty sets.
+    #[test]
+    fn maximal_lines_are_a_good_antichain(p in arb_problem()) {
+        let lines = maximal_good_lines(p.edge());
+        for (i, l) in lines.iter().enumerate() {
+            prop_assert!(line_good(l, p.edge()));
+            prop_assert!(l.iter().all(|s| !s.is_empty()));
+            for (j, m) in lines.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(m, l) || !dominates(l, m));
+                    prop_assert!(!(dominates(m, l) && m != l));
+                }
+            }
+        }
+    }
+
+    /// The derived problem is structurally well-formed and its labels are
+    /// exactly the sets occurring in the universal side.
+    #[test]
+    fn full_step_well_formed(p in arb_problem()) {
+        if let Ok(step) = full_step(&p) {
+            let q = step.problem();
+            prop_assert_eq!(q.delta(), p.delta());
+            prop_assert_eq!(q.edge().arity(), 2);
+            // provenance meanings are nonempty sets over the half alphabet
+            for l in q.alphabet().labels() {
+                let sets = step.meaning_in_base(l);
+                prop_assert!(!sets.is_empty());
+                for s in sets {
+                    prop_assert!(!s.is_empty());
+                }
+            }
+            // text round trip (an unsolvable base problem may compress to
+            // an empty derived problem, which the text format cannot
+            // express — skip those).
+            if !q.node().is_empty() && !q.edge().is_empty() {
+                let re = Problem::parse(&q.to_text()).unwrap();
+                prop_assert_eq!(&re, q);
+            }
+        }
+    }
+
+    /// Speedup is invariant under label renaming: isomorphic inputs give
+    /// isomorphic outputs.
+    #[test]
+    fn speedup_commutes_with_renaming(p in arb_problem()) {
+        // Reverse the label order.
+        let n = p.alphabet().len();
+        let renamed_alphabet = Alphabet::from_names(
+            (0..n).rev().map(|i| format!("L{i}"))
+        ).unwrap();
+        let remap = |l: Label| Label::from_index(n - 1 - l.index());
+        let q = Problem::new(
+            "renamed",
+            renamed_alphabet,
+            p.node().map_labels(remap),
+            p.edge().map_labels(remap),
+        ).unwrap();
+        let sp = full_step(&p);
+        let sq = full_step(&q);
+        match (sp, sq) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!(roundelim::core::iso::are_isomorphic(a.problem(), b.problem()));
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "asymmetric outcome: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The half-step edge constraint always satisfies: every config's two
+    /// meaning-sets are cross-compatible under the base edge constraint.
+    #[test]
+    fn half_step_edge_sound(p in arb_problem()) {
+        if let Ok(hs) = half_step_edge(&p) {
+            for cfg in hs.problem.edge().iter() {
+                let ls = cfg.labels();
+                let a = hs.meanings[ls[0].index()];
+                let b = hs.meanings[ls[1].index()];
+                for x in a.iter() {
+                    for y in b.iter() {
+                        prop_assert!(p.edge_ok(x, y));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Zero-round solvability is preserved under renaming.
+    #[test]
+    fn zero_round_invariant_under_renaming(p in arb_problem()) {
+        use roundelim::core::zero_round::zero_round_pn;
+        let n = p.alphabet().len();
+        let renamed_alphabet = Alphabet::from_names(
+            (0..n).rev().map(|i| format!("L{i}"))
+        ).unwrap();
+        let remap = |l: Label| Label::from_index(n - 1 - l.index());
+        let q = Problem::new(
+            "renamed",
+            renamed_alphabet,
+            p.node().map_labels(remap),
+            p.edge().map_labels(remap),
+        ).unwrap();
+        prop_assert_eq!(zero_round_pn(&p).is_some(), zero_round_pn(&q).is_some());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tower arithmetic: pow2 is strictly monotone and log2 inverts it.
+    #[test]
+    fn tower_laws(a in 0u128..1u128 << 90, b in 0u128..1u128 << 90) {
+        use roundelim::superweak::tower::Tower;
+        let ta = Tower::from_u128(a);
+        let tb = Tower::from_u128(b);
+        prop_assert_eq!(a.cmp(&b), ta.cmp(&tb));
+        prop_assert_eq!(ta.pow2().cmp(&tb.pow2()), ta.cmp(&tb));
+        prop_assert!(ta.pow2() > ta);
+        if a >= 1 {
+            prop_assert_eq!(ta.pow2().log2().unwrap(), ta.clone());
+            // log* decreases by exactly one under log2 (for a ≥ 2).
+            if a >= 2 {
+                let ls = ta.log_star();
+                prop_assert_eq!(ta.pow2().log_star(), ls + 1);
+            }
+        }
+    }
+
+    /// Trit complement is an involution and complementarity is symmetric.
+    #[test]
+    fn trit_laws(raw in proptest::collection::vec(0u8..=2, 1..6)) {
+        use roundelim::superweak::trit::TritSeq;
+        let t = TritSeq::new(raw).unwrap();
+        prop_assert_eq!(t.complement().complement(), t.clone());
+        prop_assert!(t.complementary(&t.complement()));
+        prop_assert_eq!(t.complementary(&t), t == t.complement());
+    }
+}
