@@ -10,7 +10,8 @@ use roundelim_sim::ring::{slowdown, speedup_algorithm, RingClass, WindowAlgorith
 fn reduction(c: usize, class: &RingClass) -> WindowAlgorithm {
     WindowAlgorithm::from_fn(1, class, |w| {
         let (x, y, z) = (w[0], w[1], w[2]);
-        let col = if y == c - 1 { (0..c - 1).find(|&k| k != x && k != z).expect("room") } else { y };
+        let col =
+            if y == c - 1 { (0..c - 1).find(|&k| k != x && k != z).expect("room") } else { y };
         (Label::from_index(col), Label::from_index(col))
     })
 }

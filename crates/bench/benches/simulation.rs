@@ -28,7 +28,9 @@ fn bench_cv(c: &mut Criterion) {
         let g = cycle(n);
         let inputs = ring_inputs(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| run(&g, &inputs, &ColeVishkin::for_n(n * 8), cole_vishkin::total_rounds(n * 8)))
+            b.iter(|| {
+                run(&g, &inputs, &ColeVishkin::for_n(n * 8), cole_vishkin::total_rounds(n * 8))
+            })
         });
     }
     group.finish();

@@ -1,0 +1,58 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no crates registry, so this crate provides the
+//! minimal trait skeleton the workspace compiles against: the
+//! [`Serialize`]/[`Deserialize`] traits, the [`Serializer`]/[`Deserializer`]
+//! abstract interfaces, the `ser::Error`/`de::Error` constructor traits, and
+//! re-exported placeholder derives. No data format is included, and the
+//! derived impls error out if invoked at runtime — the workspace only needs
+//! the *bounds* to hold so that types stay forward-compatible with the real
+//! serde once a registry is available.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data structure that can be deserialized from format-agnostic input.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A serialization format driver (abstract; no formats are shipped here).
+pub trait Serializer {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+}
+
+/// A deserialization format driver (abstract; no formats are shipped here).
+pub trait Deserializer<'de> {
+    /// Error produced on failure.
+    type Error: de::Error;
+}
+
+/// Serialization-side helpers.
+pub mod ser {
+    /// Constructor for custom serialization errors.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side helpers.
+pub mod de {
+    /// Constructor for custom deserialization errors.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}

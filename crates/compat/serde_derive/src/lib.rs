@@ -1,0 +1,73 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds without a crates registry, so the derives here emit
+//! *placeholder* trait impls: they satisfy the `Serialize`/`Deserialize`
+//! bounds at compile time (which is all this workspace needs — nothing
+//! serializes at runtime) and return a descriptive error if ever invoked.
+//! The `#[serde(...)]` field attributes are accepted and ignored.
+//!
+//! Written against `proc_macro` only (no syn/quote): it scans the token
+//! stream for the `struct`/`enum` keyword and takes the following ident as
+//! the type name. Generic types are not supported — the workspace derives
+//! only on plain types.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive is applied to.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "offline serde_derive stub: generic type `{name}` unsupported"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("offline serde_derive stub: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("offline serde_derive stub: no struct/enum found in derive input")
+}
+
+/// Placeholder `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, _serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 Err(<S::Error as ::serde::ser::Error>::custom(\n\
+                     \"offline serde stub: serialization of {name} not implemented\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Placeholder `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 Err(<D::Error as ::serde::de::Error>::custom(\n\
+                     \"offline serde stub: deserialization of {name} not implemented\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}

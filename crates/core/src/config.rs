@@ -46,7 +46,7 @@ impl Config {
     pub fn from_groups<I: IntoIterator<Item = (Label, usize)>>(groups: I) -> Config {
         let mut labels = Vec::new();
         for (l, m) in groups {
-            labels.extend(std::iter::repeat(l).take(m));
+            labels.extend(std::iter::repeat_n(l, m));
         }
         Config::new(labels)
     }
@@ -122,8 +122,11 @@ impl Config {
         for &l in &self.labels {
             if l.index() >= alphabet.len() {
                 return Err(Error::Inconsistent {
-                    reason: format!("configuration references label index {} outside alphabet of size {}",
-                        l.index(), alphabet.len()),
+                    reason: format!(
+                        "configuration references label index {} outside alphabet of size {}",
+                        l.index(),
+                        alphabet.len()
+                    ),
                 });
             }
         }

@@ -47,7 +47,10 @@ impl Constraint {
     ///
     /// Returns [`Error::ArityMismatch`] if any configuration has the wrong
     /// arity and [`Error::EmptyArity`] for arity 0.
-    pub fn from_configs<I: IntoIterator<Item = Config>>(arity: usize, configs: I) -> Result<Constraint> {
+    pub fn from_configs<I: IntoIterator<Item = Config>>(
+        arity: usize,
+        configs: I,
+    ) -> Result<Constraint> {
         let mut c = Constraint::new(arity)?;
         for cfg in configs {
             c.insert(cfg)?;
@@ -121,12 +124,8 @@ impl Constraint {
     /// Returns the sub-constraint of configurations whose labels all lie in
     /// `allowed`.
     pub fn restrict(&self, allowed: &LabelSet) -> Constraint {
-        let configs = self
-            .configs
-            .iter()
-            .filter(|c| c.support().is_subset(allowed))
-            .cloned()
-            .collect();
+        let configs =
+            self.configs.iter().filter(|c| c.support().is_subset(allowed)).cloned().collect();
         Constraint { arity: self.arity, configs }
     }
 
@@ -156,7 +155,10 @@ impl Constraint {
     pub fn compatibility_matrix(&self, alphabet_len: usize) -> Result<Vec<Vec<bool>>> {
         if self.arity != 2 {
             return Err(Error::Unsupported {
-                reason: format!("compatibility matrix needs arity 2, constraint has arity {}", self.arity),
+                reason: format!(
+                    "compatibility matrix needs arity 2, constraint has arity {}",
+                    self.arity
+                ),
             });
         }
         let mut m = vec![vec![false; alphabet_len]; alphabet_len];
@@ -179,7 +181,8 @@ impl FromIterator<Config> for Constraint {
     /// use [`Constraint::from_configs`] for fallible construction.
     fn from_iter<I: IntoIterator<Item = Config>>(iter: I) -> Constraint {
         let configs: Vec<Config> = iter.into_iter().collect();
-        let arity = configs.first().expect("FromIterator<Config> needs at least one configuration").arity();
+        let arity =
+            configs.first().expect("FromIterator<Config> needs at least one configuration").arity();
         Constraint::from_configs(arity, configs).expect("configurations disagree on arity")
     }
 }

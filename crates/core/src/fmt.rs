@@ -16,12 +16,7 @@ use crate::speedup::{FullStep, HalfStep};
 /// ```
 pub fn problem_table(p: &Problem) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:<32}Δ = {}, {} labels\n",
-        p.name(),
-        p.delta(),
-        p.alphabet().len()
-    ));
+    out.push_str(&format!("{:<32}Δ = {}, {} labels\n", p.name(), p.delta(), p.alphabet().len()));
     let render = |label: &str, c: &crate::constraint::Constraint| -> String {
         let mut line = format!("  {label:>4} │ ");
         let mut first = true;
@@ -47,22 +42,11 @@ pub fn problem_table(p: &Problem) -> String {
 /// the set of base labels it denotes.
 pub fn provenance_table(hs: &HalfStep, base: &Problem) -> String {
     let mut out = String::new();
-    let width = hs
-        .problem
-        .alphabet()
-        .names()
-        .iter()
-        .map(|n| n.chars().count())
-        .max()
-        .unwrap_or(1);
+    let width = hs.problem.alphabet().names().iter().map(|n| n.chars().count()).max().unwrap_or(1);
     for (ix, meaning) in hs.meanings.iter().enumerate() {
         let name = hs.problem.alphabet().name(crate::label::Label::from_index(ix));
         let members: Vec<&str> = meaning.iter().map(|l| base.alphabet().name(l)).collect();
-        out.push_str(&format!(
-            "  {name:<w$} ↦ {{{}}}\n",
-            members.join(", "),
-            w = width
-        ));
+        out.push_str(&format!("  {name:<w$} ↦ {{{}}}\n", members.join(", "), w = width));
     }
     out
 }
@@ -131,9 +115,11 @@ mod tests {
         use crate::constraint::Constraint;
         use crate::label::Alphabet;
         let a = Alphabet::from_names(["X"]).unwrap();
-        let node = Constraint::from_configs(2, [crate::config::Config::new(vec![
-            crate::label::Label::from_index(0); 2
-        ])]).unwrap();
+        let node = Constraint::from_configs(
+            2,
+            [crate::config::Config::new(vec![crate::label::Label::from_index(0); 2])],
+        )
+        .unwrap();
         let edge = Constraint::new(2).unwrap();
         let p = Problem::new("dead", a, node, edge).unwrap();
         assert!(problem_table(&p).contains("unsatisfiable"));

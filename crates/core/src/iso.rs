@@ -12,9 +12,16 @@ use crate::constraint::Constraint;
 use crate::label::Label;
 use crate::problem::Problem;
 
+/// A label's occurrence profile in the node and edge constraints; see
+/// [`signature`].
+type LabelSignature = (Vec<(usize, usize)>, Vec<(usize, usize)>);
+
+/// The canonical `(node, edge)` image computed by [`canonical_key`].
+pub type CanonicalKey = (Vec<Vec<usize>>, Vec<Vec<usize>>);
+
 /// A per-label invariant used to prune the isomorphism search: how often
 /// the label occurs, with which multiplicities, in each constraint.
-fn signature(p: &Problem, l: Label) -> (Vec<(usize, usize)>, Vec<(usize, usize)>) {
+fn signature(p: &Problem, l: Label) -> LabelSignature {
     let sig = |c: &Constraint| -> Vec<(usize, usize)> {
         // multiset of (multiplicity-of-l-in-config, config-arity-support) over configs containing l
         let mut v: Vec<(usize, usize)> = c
@@ -55,11 +62,8 @@ pub fn isomorphism(a: &Problem, b: &Problem) -> Option<Vec<Label>> {
     let mut candidates: Vec<Vec<Label>> = Vec::with_capacity(n);
     for l in a.alphabet().labels() {
         let sa = signature(a, l);
-        let cands: Vec<Label> = b
-            .alphabet()
-            .labels()
-            .filter(|&m| sigs_b[m.index()] == sa)
-            .collect();
+        let cands: Vec<Label> =
+            b.alphabet().labels().filter(|&m| sigs_b[m.index()] == sa).collect();
         if cands.is_empty() {
             return None;
         }
@@ -97,7 +101,9 @@ fn assign(
         }
         mapping[src] = Some(tgt);
         used[tgt.index()] = true;
-        if partial_consistent(a, b, mapping) && assign(a, b, candidates, order, depth + 1, mapping, used) {
+        if partial_consistent(a, b, mapping)
+            && assign(a, b, candidates, order, depth + 1, mapping, used)
+        {
             // Leave the successful assignment in `mapping` for the caller.
             return true;
         }
@@ -146,21 +152,21 @@ pub fn are_isomorphic(a: &Problem, b: &Problem) -> bool {
 /// lexicographically smallest `(node, edge)` image; intended for the small
 /// alphabets the generic engine produces. Complexity is bounded by the
 /// isomorphism search over the problem against itself.
-pub fn canonical_key(p: &Problem) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+pub fn canonical_key(p: &Problem) -> CanonicalKey {
     let n = p.alphabet().len();
     // Group labels by signature; permutations only permute within groups.
     let sigs: Vec<_> = p.alphabet().labels().map(|l| signature(p, l)).collect();
-    let mut best: Option<(Vec<Vec<usize>>, Vec<Vec<usize>>)> = None;
+    let mut best: Option<CanonicalKey> = None;
 
     let mut perm: Vec<usize> = (0..n).collect();
     // Enumerate permutations respecting signature classes via backtracking.
     fn rec(
         p: &Problem,
-        sigs: &[(Vec<(usize, usize)>, Vec<(usize, usize)>)],
+        sigs: &[LabelSignature],
         pos: usize,
         used: &mut Vec<bool>,
         perm: &mut Vec<usize>,
-        best: &mut Option<(Vec<Vec<usize>>, Vec<Vec<usize>>)>,
+        best: &mut Option<CanonicalKey>,
     ) {
         let n = sigs.len();
         if pos == n {
@@ -184,12 +190,13 @@ pub fn canonical_key(p: &Problem) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
             }
         }
     }
-    fn render(p: &Problem, perm: &[usize]) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    fn render(p: &Problem, perm: &[usize]) -> CanonicalKey {
         let conv = |c: &Constraint| -> Vec<Vec<usize>> {
             let mut v: Vec<Vec<usize>> = c
                 .iter()
                 .map(|cfg| {
-                    let mut labels: Vec<usize> = cfg.labels().iter().map(|l| perm[l.index()]).collect();
+                    let mut labels: Vec<usize> =
+                        cfg.labels().iter().map(|l| perm[l.index()]).collect();
                     labels.sort_unstable();
                     labels
                 })

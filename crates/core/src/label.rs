@@ -200,12 +200,8 @@ impl Alphabet {
 
     /// Rebuilds the internal lookup index (used after deserialization).
     pub(crate) fn rebuild_index(&mut self) {
-        self.index = self
-            .names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.clone(), Label(i as u16)))
-            .collect();
+        self.index =
+            self.names.iter().enumerate().map(|(i, n)| (n.clone(), Label(i as u16))).collect();
     }
 }
 

@@ -133,8 +133,8 @@ impl LabelSet {
     #[inline]
     pub fn union(&self, other: &LabelSet) -> LabelSet {
         let mut w = [0u64; WORDS];
-        for i in 0..WORDS {
-            w[i] = self.words[i] | other.words[i];
+        for (w, (a, b)) in w.iter_mut().zip(self.words.iter().zip(&other.words)) {
+            *w = a | b;
         }
         LabelSet { words: w }
     }
@@ -143,8 +143,8 @@ impl LabelSet {
     #[inline]
     pub fn intersection(&self, other: &LabelSet) -> LabelSet {
         let mut w = [0u64; WORDS];
-        for i in 0..WORDS {
-            w[i] = self.words[i] & other.words[i];
+        for (w, (a, b)) in w.iter_mut().zip(self.words.iter().zip(&other.words)) {
+            *w = a & b;
         }
         LabelSet { words: w }
     }
@@ -153,8 +153,8 @@ impl LabelSet {
     #[inline]
     pub fn difference(&self, other: &LabelSet) -> LabelSet {
         let mut w = [0u64; WORDS];
-        for i in 0..WORDS {
-            w[i] = self.words[i] & !other.words[i];
+        for (w, (a, b)) in w.iter_mut().zip(self.words.iter().zip(&other.words)) {
+            *w = a & !b;
         }
         LabelSet { words: w }
     }
@@ -232,7 +232,7 @@ impl IntoIterator for LabelSet {
     }
 }
 
-impl<'a> IntoIterator for &'a LabelSet {
+impl IntoIterator for &LabelSet {
     type Item = Label;
     type IntoIter = Iter;
     fn into_iter(self) -> Iter {

@@ -126,7 +126,10 @@ pub fn parse_problem(text: &str) -> Result<Problem> {
         if labels.len() != delta {
             return Err(Error::Parse {
                 line: lineno,
-                reason: format!("node configurations disagree on arity: expected {delta}, found {}", labels.len()),
+                reason: format!(
+                    "node configurations disagree on arity: expected {delta}, found {}",
+                    labels.len()
+                ),
             });
         }
         node.insert(Config::new(labels))?;
@@ -165,13 +168,19 @@ fn parse_config(piece: &str, alphabet: &mut Alphabet, lineno: usize) -> Result<V
             }
         };
         if name.is_empty() {
-            return Err(Error::Parse { line: lineno, reason: format!("empty label in token `{tok}`") });
+            return Err(Error::Parse {
+                line: lineno,
+                reason: format!("empty label in token `{tok}`"),
+            });
         }
         if name.contains(':') {
-            return Err(Error::Parse { line: lineno, reason: format!("label `{name}` contains `:`") });
+            return Err(Error::Parse {
+                line: lineno,
+                reason: format!("label `{name}` contains `:`"),
+            });
         }
         let l = alphabet.intern_or_get(name)?;
-        labels.extend(std::iter::repeat(l).take(mult));
+        labels.extend(std::iter::repeat_n(l, mult));
     }
     Ok(labels)
 }
@@ -203,10 +212,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let p = parse_problem(
-            "# header\n\nname: c\n# mid\nnode: A A # trailing\nedge: A A\n",
-        )
-        .unwrap();
+        let p =
+            parse_problem("# header\n\nname: c\n# mid\nnode: A A # trailing\nedge: A A\n").unwrap();
         assert_eq!(p.name(), "c");
         assert_eq!(p.delta(), 2);
     }

@@ -162,7 +162,8 @@ impl Problem {
                 mapping[l.index()] = Some(nl);
             }
         }
-        let remap = |l: Label| mapping[l.index()].expect("restricted constraints only use usable labels");
+        let remap =
+            |l: Label| mapping[l.index()].expect("restricted constraints only use usable labels");
         let node = node.map_labels(remap);
         let edge = edge.map_labels(remap);
         let p = Problem { name: self.name.clone(), alphabet, node, edge };
@@ -278,8 +279,10 @@ mod tests {
     #[test]
     fn edge_arity_enforced() {
         let a = Alphabet::from_names(["A"]).unwrap();
-        let node = Constraint::from_configs(2, [Config::new(vec![Label::from_index(0); 2])]).unwrap();
-        let edge = Constraint::from_configs(3, [Config::new(vec![Label::from_index(0); 3])]).unwrap();
+        let node =
+            Constraint::from_configs(2, [Config::new(vec![Label::from_index(0); 2])]).unwrap();
+        let edge =
+            Constraint::from_configs(3, [Config::new(vec![Label::from_index(0); 3])]).unwrap();
         assert!(Problem::new("bad", a.clone(), node.clone(), edge.clone()).is_err());
         assert!(Problem::new_general("ok", a, node, edge).is_ok());
     }

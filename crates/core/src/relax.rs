@@ -54,7 +54,9 @@ pub fn relaxation_map(from: &Problem, to: &Problem) -> Option<Vec<Label>> {
     order.sort_by_key(|&i| std::cmp::Reverse(freq[i]));
 
     fn consistent(from: &Problem, to: &Problem, mapping: &[Option<Label>]) -> bool {
-        let check = |ca: &crate::constraint::Constraint, cb: &crate::constraint::Constraint| -> bool {
+        let check = |ca: &crate::constraint::Constraint,
+                     cb: &crate::constraint::Constraint|
+         -> bool {
             for cfg in ca.iter() {
                 if cfg.labels().iter().all(|l| mapping[l.index()].is_some()) {
                     let mapped = Config::new(

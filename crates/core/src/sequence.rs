@@ -106,7 +106,11 @@ pub fn iterate(p: &Problem, max_steps: usize) -> Result<SpeedupSequence> {
 /// # Errors
 ///
 /// Propagates speedup errors (e.g. alphabet overflow).
-pub fn iterate_with(p: &Problem, max_steps: usize, model: ZeroRoundModel) -> Result<SpeedupSequence> {
+pub fn iterate_with(
+    p: &Problem,
+    max_steps: usize,
+    model: ZeroRoundModel,
+) -> Result<SpeedupSequence> {
     let mut problems = vec![p.clone()];
     if is_zero_round(p, model) {
         return Ok(SpeedupSequence { problems, stop: StopReason::ZeroRound { index: 0 }, model });
@@ -116,7 +120,11 @@ pub fn iterate_with(p: &Problem, max_steps: usize, model: ZeroRoundModel) -> Res
         // Zero-round check first: a 0-round problem may also be periodic.
         if is_zero_round(&next, model) {
             problems.push(next);
-            return Ok(SpeedupSequence { problems, stop: StopReason::ZeroRound { index: step }, model });
+            return Ok(SpeedupSequence {
+                problems,
+                stop: StopReason::ZeroRound { index: step },
+                model,
+            });
         }
         // Fixed-point check against all earlier problems.
         if let Some(earlier) = problems.iter().position(|q| are_isomorphic(q, &next)) {
@@ -263,7 +271,8 @@ mod tests {
         // problem relaxes to it after every step and the loop is detected
         // at the template level.
         let sc = Problem::parse("name: sc\nnode: 1 0 0\nedge: 0 0 | 0 1").unwrap();
-        let seq = iterate_relaxed(&sc, &[sc.clone()], 5, ZeroRoundModel::Oriented).unwrap();
+        let seq =
+            iterate_relaxed(&sc, std::slice::from_ref(&sc), 5, ZeroRoundModel::Oriented).unwrap();
         assert!(matches!(seq.stop, StopReason::FixedPoint { .. }), "{:?}", seq.stop);
         // The relaxation was actually used.
         assert!(seq.entries.iter().any(|e| e.template == Some(0)));

@@ -86,12 +86,7 @@ fn set_name(alphabet: &Alphabet, set: &LabelSet) -> String {
 }
 
 /// Builds the derived problem from maximal lines of the universal side.
-fn assemble(
-    base: &Problem,
-    lines: Vec<Line>,
-    side: Side,
-    name_suffix: &str,
-) -> Result<HalfStep> {
+fn assemble(base: &Problem, lines: Vec<Line>, side: Side, name_suffix: &str) -> Result<HalfStep> {
     // New alphabet: distinct sets occurring in the maximal lines.
     let mut meanings: Vec<LabelSet> = Vec::new();
     for line in &lines {
@@ -196,7 +191,11 @@ pub fn full_step(p: &Problem) -> Result<FullStep> {
             meanings.push(full.meanings[old_ix]);
         }
     }
-    let full = HalfStep { problem: compressed.with_name(full.problem.name().to_owned()), meanings, side: Side::Node };
+    let full = HalfStep {
+        problem: compressed.with_name(full.problem.name().to_owned()),
+        meanings,
+        side: Side::Node,
+    };
     Ok(FullStep { half, full })
 }
 

@@ -203,12 +203,7 @@ fn merges(a: &[LabelSet], b: &[LabelSet], out: &mut HashSet<Line>) {
 
 /// Extends a label to position `i` if every choice of the other
 /// components combined with it stays in `c`.
-fn can_extend(
-    line: &[LabelSet],
-    i: usize,
-    l: crate::label::Label,
-    c: &Constraint,
-) -> bool {
+fn can_extend(line: &[LabelSet], i: usize, l: crate::label::Label, c: &Constraint) -> bool {
     // Group the other components, then enumerate their choices.
     let mut groups: Vec<(LabelSet, usize)> = Vec::new();
     for (j, s) in line.iter().enumerate() {
@@ -478,11 +473,7 @@ mod tests {
     #[test]
     fn matches_bruteforce_on_coloring() {
         // 3-coloring edge constraint: all pairs of distinct colors.
-        let c = Constraint::from_configs(
-            2,
-            [cfg(&[0, 1]), cfg(&[0, 2]), cfg(&[1, 2])],
-        )
-        .unwrap();
+        let c = Constraint::from_configs(2, [cfg(&[0, 1]), cfg(&[0, 2]), cfg(&[1, 2])]).unwrap();
         let fast = maximal_good_lines(&c);
         let slow = maximal_good_lines_bruteforce(&c, &LabelSet::first_n(3));
         assert_eq!(fast, slow);
@@ -494,7 +485,8 @@ mod tests {
     fn matches_bruteforce_on_arity3() {
         // "at least one 1": node constraint of sinkless orientation, Δ=3,
         // labels {0,1}: configs 001, 011, 111.
-        let c = Constraint::from_configs(3, [cfg(&[0, 0, 1]), cfg(&[0, 1, 1]), cfg(&[1, 1, 1])]).unwrap();
+        let c = Constraint::from_configs(3, [cfg(&[0, 0, 1]), cfg(&[0, 1, 1]), cfg(&[1, 1, 1])])
+            .unwrap();
         let fast = maximal_good_lines(&c);
         let slow = maximal_good_lines_bruteforce(&c, &LabelSet::first_n(2));
         assert_eq!(fast, slow);

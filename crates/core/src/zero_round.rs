@@ -111,11 +111,7 @@ pub fn zero_round_oriented(p: &Problem) -> Option<OrientedZeroRoundWitness> {
     // Track chosen in-label set and out-label set globally.
     let mut chosen: Vec<usize> = Vec::with_capacity(delta + 1);
     if search(p, &options, 0, &mut chosen) {
-        let plans = chosen
-            .iter()
-            .enumerate()
-            .map(|(k, &ix)| options[k][ix].clone())
-            .collect();
+        let plans = chosen.iter().enumerate().map(|(k, &ix)| options[k][ix].clone()).collect();
         return Some(OrientedZeroRoundWitness { plans });
     }
     None
@@ -173,7 +169,12 @@ fn splits_of(cfg: &Config, k: usize, out: &mut Vec<(Vec<Label>, Vec<Label>)>) {
     }
 }
 
-fn search(p: &Problem, options: &[Vec<(Vec<Label>, Vec<Label>)>], k: usize, chosen: &mut Vec<usize>) -> bool {
+fn search(
+    p: &Problem,
+    options: &[Vec<(Vec<Label>, Vec<Label>)>],
+    k: usize,
+    chosen: &mut Vec<usize>,
+) -> bool {
     if k == options.len() {
         return true;
     }
@@ -232,10 +233,8 @@ mod tests {
 
     #[test]
     fn coloring_not_zero_round() {
-        let c3 = Problem::parse(
-            "name: 3col\nnode: 1 1 | 2 2 | 3 3\nedge: 1 2 | 1 3 | 2 3",
-        )
-        .unwrap();
+        let c3 =
+            Problem::parse("name: 3col\nnode: 1 1 | 2 2 | 3 3\nedge: 1 2 | 1 3 | 2 3").unwrap();
         assert!(zero_round_pn(&c3).is_none());
         // Proper coloring needs adjacent nodes to differ; with orientations
         // the indegree-1 view can color by orientation? No: two indegree-1
@@ -269,10 +268,8 @@ mod tests {
     #[test]
     fn oriented_witness_is_validated() {
         // "orientation copy" problem: output I on in-ports, O on out-ports.
-        let p = Problem::parse(
-            "name: copy\nnode: O O O | O O I | O I I | I I I\nedge: O I",
-        )
-        .unwrap();
+        let p =
+            Problem::parse("name: copy\nnode: O O O | O O I | O I I | I I I\nedge: O I").unwrap();
         let w = zero_round_oriented(&p).expect("copying the orientation works");
         for (k, (ins, outs)) in w.plans.iter().enumerate() {
             assert_eq!(ins.len(), k);

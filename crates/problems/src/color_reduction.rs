@@ -37,7 +37,7 @@ pub struct Family {
 /// Returns [`Error::Unsupported`] for odd `k`, `k < 2`, or `k > 8` (the
 /// family count explodes beyond).
 pub fn families(k: usize) -> Result<Vec<Family>> {
-    if k < 2 || k % 2 != 0 || k > 8 {
+    if k < 2 || !k.is_multiple_of(2) || k > 8 {
         return Err(Error::Unsupported {
             reason: format!("families(k) needs even 2 ≤ k ≤ 8, got {k}"),
         });
@@ -72,7 +72,7 @@ pub fn families(k: usize) -> Result<Vec<Family>> {
 /// Returns [`Error::Unsupported`] for parameters where the count does not
 /// fit in `u128` or `k` is odd/too small.
 pub fn k_prime(k: usize) -> Result<u128> {
-    if k < 2 || k % 2 != 0 {
+    if k < 2 || !k.is_multiple_of(2) {
         return Err(Error::Unsupported { reason: format!("k′ needs even k ≥ 2, got {k}") });
     }
     // C(k, k/2)
@@ -118,7 +118,9 @@ pub fn verify_properties(k: usize) -> Result<usize> {
             let ok = y.members.iter().any(|&a| z.members.iter().any(|&b| a & b == 0));
             if !ok {
                 return Err(Error::Inconsistent {
-                    reason: format!("families {i} and {j} have no disjoint pair — property 1 fails"),
+                    reason: format!(
+                        "families {i} and {j} have no disjoint pair — property 1 fails"
+                    ),
                 });
             }
         }

@@ -45,9 +45,7 @@ pub fn sinkless_coloring(delta: usize) -> Result<Problem> {
 /// Returns [`Error::Unsupported`] for `delta < 1`.
 pub fn sinkless_orientation(delta: usize) -> Result<Problem> {
     if delta < 1 {
-        return Err(Error::Unsupported {
-            reason: "sinkless orientation needs Δ ≥ 1".into(),
-        });
+        return Err(Error::Unsupported { reason: "sinkless orientation needs Δ ≥ 1".into() });
     }
     let mut node = String::new();
     for o in 1..=delta {

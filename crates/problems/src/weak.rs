@@ -33,7 +33,9 @@ use roundelim_core::problem::Problem;
 pub fn weak_coloring_pointer(k: usize, delta: usize) -> Result<Problem> {
     if k < 2 || delta < 2 {
         return Err(Error::Unsupported {
-            reason: format!("weak coloring pointer version needs k ≥ 2, Δ ≥ 2; got k={k}, Δ={delta}"),
+            reason: format!(
+                "weak coloring pointer version needs k ≥ 2, Δ ≥ 2; got k={k}, Δ={delta}"
+            ),
         });
     }
     let mut alphabet = Alphabet::new();
@@ -124,7 +126,13 @@ pub fn superweak_coloring(k: usize, delta: usize) -> Result<Problem> {
         }
     }
     let mut edge = Constraint::new(2)?;
-    let kinds = |c: usize| [(dem[c], PointerKind::Demanding), (acc[c], PointerKind::Accepting), (dot[c], PointerKind::None)];
+    let kinds = |c: usize| {
+        [
+            (dem[c], PointerKind::Demanding),
+            (acc[c], PointerKind::Accepting),
+            (dot[c], PointerKind::None),
+        ]
+    };
     for a in 0..k {
         for b in 0..k {
             for (la, pa) in kinds(a) {
@@ -195,7 +203,11 @@ mod tests {
             let acc1 = p.alphabet().require("1(").unwrap();
             let acc2 = p.alphabet().require("2(").unwrap();
             let n_acc = cfg.multiplicity(acc1) + cfg.multiplicity(acc2);
-            assert!(n_acc <= 2, "config {} has {n_acc} accepting pointers", cfg.display(p.alphabet()));
+            assert!(
+                n_acc <= 2,
+                "config {} has {n_acc} accepting pointers",
+                cfg.display(p.alphabet())
+            );
         }
     }
 

@@ -92,9 +92,8 @@ impl Distributed for ColeVishkin {
             let c = (5 - (round - self.phase1)) as u64;
             if state.color == c {
                 let used: Vec<u64> = messages.to_vec();
-                state.color = (0..c)
-                    .find(|k| !used.contains(k))
-                    .expect("degree 2 < c available colors");
+                state.color =
+                    (0..c).find(|k| !used.contains(k)).expect("degree 2 < c available colors");
             }
         }
     }
@@ -132,7 +131,8 @@ mod tests {
     #[test]
     fn cv_step_properties() {
         // distinct inputs give colors < 2·64 and chain-properness:
-        for (a, b, c) in [(0b1010u64, 0b1000, 0b0110)] {
+        {
+            let (a, b, c) = (0b1010u64, 0b1000, 0b0110);
             let ab = cv_step(a, b);
             let bc = cv_step(b, c);
             assert_ne!(ab, bc, "consecutive new colors differ when chains differ");

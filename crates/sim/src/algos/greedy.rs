@@ -83,10 +83,8 @@ impl Distributed for GreedyMis {
                     return;
                 }
                 // Local minimum among undecided neighbors joins.
-                let is_min = messages
-                    .iter()
-                    .filter(|&&(_, c)| c == 0)
-                    .all(|&(nid, _)| state.id < nid);
+                let is_min =
+                    messages.iter().filter(|&&(_, c)| c == 0).all(|&(nid, _)| state.id < nid);
                 if is_min {
                     state.status = MisStatus::InMis;
                 }
@@ -160,8 +158,7 @@ impl Distributed for GreedyMatching {
         if round == 0 {
             return (state.id, false, false);
         }
-        let proposes = state.matched_port.is_none()
-            && Some(port) == self.proposal_port(state);
+        let proposes = state.matched_port.is_none() && Some(port) == self.proposal_port(state);
         (state.id, proposes, state.matched_port.is_some())
     }
 
@@ -233,10 +230,8 @@ mod tests {
     fn greedy_mis_on_complete_graph_is_single_node() {
         let g = complete(5);
         let out = run(&g, &id_inputs(&g), &GreedyMis, mis_rounds(5));
-        let in_mis = out
-            .iter()
-            .filter(|labels| labels.iter().all(|&l| l == Label::from_index(0)))
-            .count();
+        let in_mis =
+            out.iter().filter(|labels| labels.iter().all(|&l| l == Label::from_index(0))).count();
         assert_eq!(in_mis, 1);
     }
 

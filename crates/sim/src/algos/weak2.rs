@@ -114,11 +114,10 @@ impl Distributed for WeakTwoColoring {
         } else if round < self.bit_round() {
             let sub = round - self.matching_start();
             let class = (sub / 2) as u64;
-            if sub % 2 == 0 {
+            if sub.is_multiple_of(2) {
                 // Propose sub-round for color class `class`.
-                m.propose = state.partner.is_none()
-                    && state.color == class
-                    && port == state.pointer_port;
+                m.propose =
+                    state.partner.is_none() && state.color == class && port == state.pointer_port;
             } else {
                 // Accept sub-round.
                 m.accept = state.accepting == Some(port);
@@ -132,9 +131,8 @@ impl Distributed for WeakTwoColoring {
     fn receive(&self, state: &mut WeakState, round: usize, messages: &[Msg]) {
         if round == 0 {
             state.neighbor_ids = messages.iter().map(|m| m.payload).collect();
-            state.pointer_port = (0..messages.len())
-                .max_by_key(|&p| messages[p].payload)
-                .expect("degree ≥ 1");
+            state.pointer_port =
+                (0..messages.len()).max_by_key(|&p| messages[p].payload).expect("degree ≥ 1");
             return;
         }
         if round <= self.phase1 {
@@ -144,7 +142,7 @@ impl Distributed for WeakTwoColoring {
         }
         if round < self.bit_round() {
             let sub = round - self.matching_start();
-            if sub % 2 == 0 {
+            if sub.is_multiple_of(2) {
                 // Saw proposals; decide acceptance (if still unmatched).
                 state.proposed = {
                     let class = (sub / 2) as u64;

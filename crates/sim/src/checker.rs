@@ -66,17 +66,18 @@ impl fmt::Display for Violation {
 pub fn check(problem: &Problem, graph: &PortGraph, outputs: &[Vec<Label>]) -> Vec<Violation> {
     let mut violations = Vec::new();
     let delta = problem.delta();
-    for v in 0..graph.node_count() {
+    assert_eq!(outputs.len(), graph.node_count(), "one output row per node");
+    for (v, out) in outputs.iter().enumerate() {
         if graph.degree(v) != delta {
             violations.push(Violation::Degree { node: v, degree: graph.degree(v), delta });
             continue;
         }
-        if outputs[v].len() != delta {
+        if out.len() != delta {
             violations.push(Violation::OutputArity { node: v });
             continue;
         }
-        if !problem.node_ok(&outputs[v]) {
-            violations.push(Violation::Node { node: v, labels: outputs[v].clone() });
+        if !problem.node_ok(out) {
+            violations.push(Violation::Node { node: v, labels: out.clone() });
         }
     }
     for (u, pu, v, pv) in graph.edges() {

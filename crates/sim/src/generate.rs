@@ -50,10 +50,10 @@ pub fn complete_bipartite(d: usize) -> PortGraph {
 /// (retrying until simple). Returns `None` if `n·d` is odd, `d ≥ n`, or no
 /// simple pairing is found within `tries` attempts.
 pub fn random_regular<R: Rng>(n: usize, d: usize, tries: usize, rng: &mut R) -> Option<PortGraph> {
-    if n * d % 2 != 0 || d >= n || d == 0 {
+    if !(n * d).is_multiple_of(2) || d >= n || d == 0 {
         return None;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         // Union of d random perfect matchings with per-matching retries:
         // the rejection rate stays per-matching instead of compounding
         // exponentially in d² as in the plain configuration model.
@@ -61,7 +61,7 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, tries: usize, rng: &mut R) -> 
     }
     'attempt: for _ in 0..tries {
         // Stubs: d copies of each node.
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         // Fisher–Yates shuffle.
         for i in (1..stubs.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -136,7 +136,7 @@ pub fn random_regular_girth<R: Rng>(
 ) -> Option<PortGraph> {
     for _ in 0..tries {
         if let Some(graph) = random_regular(n, d, 16, rng) {
-            if graph.girth().map_or(true, |gg| gg >= min_girth) {
+            if graph.girth().is_none_or(|gg| gg >= min_girth) {
                 return Some(graph);
             }
         }
@@ -195,8 +195,9 @@ mod tests {
     #[test]
     fn girth_rejection_works() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let g = random_regular_girth(30, 3, 5, 5000, &mut rng).expect("girth-5 cubic graph on 30 nodes");
-        assert!(g.girth().map_or(true, |x| x >= 5));
+        let g = random_regular_girth(30, 3, 5, 5000, &mut rng)
+            .expect("girth-5 cubic graph on 30 nodes");
+        assert!(g.girth().is_none_or(|x| x >= 5));
         assert!(g.is_regular(3));
     }
 

@@ -123,7 +123,7 @@ impl PortGraph {
                     } else if parent[u] != v {
                         // Cycle through root candidate.
                         let len = dist[u] + dist[v] + 1;
-                        if best.map_or(true, |b| len < b) {
+                        if best.is_none_or(|b| len < b) {
                             best = Some(len);
                         }
                     }
@@ -209,7 +209,8 @@ mod tests {
 
     #[test]
     fn girth_of_k4_is_three() {
-        let g = PortGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let g =
+            PortGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         assert_eq!(g.girth(), Some(3));
         assert!(g.is_regular(3));
     }

@@ -78,7 +78,7 @@ impl RingClass {
             return;
         }
         for s in 0..self.c {
-            if cur.last().map_or(true, |&last| self.step_ok(last, s)) {
+            if cur.last().is_none_or(|&last| self.step_ok(last, s)) {
                 cur.push(s);
                 self.rec(len, cur, out);
                 cur.pop();
@@ -187,17 +187,18 @@ pub fn check_node_algorithm(
 }
 
 fn label_of_meaning(meanings: &[LabelSet], set: &LabelSet) -> Result<Label> {
-    meanings
-        .binary_search(set)
-        .map(Label::from_index)
-        .map_err(|_| Error::Unsupported {
-            reason: format!("derived set {set:?} is not a label of the derived problem"),
-        })
+    meanings.binary_search(set).map(Label::from_index).map_err(|_| Error::Unsupported {
+        reason: format!("derived set {set:?} is not a label of the derived problem"),
+    })
 }
 
 /// Galois closure: all labels compatible (under the arity-2 universal
 /// property of `constraint`) with everything in `against`.
-fn closure(against: &LabelSet, constraint: &roundelim_core::constraint::Constraint, alphabet_len: usize) -> LabelSet {
+fn closure(
+    against: &LabelSet,
+    constraint: &roundelim_core::constraint::Constraint,
+    alphabet_len: usize,
+) -> LabelSet {
     let mut out = LabelSet::empty();
     for a in 0..alphabet_len {
         let la = Label::from_index(a);
@@ -226,9 +227,7 @@ pub fn derive_half(
 ) -> Result<EdgeAlgorithm> {
     let t = a.t;
     if t == 0 {
-        return Err(Error::Unsupported {
-            reason: "cannot speed up a 0-round algorithm".into(),
-        });
+        return Err(Error::Unsupported { reason: "cannot speed up a 0-round algorithm".into() });
     }
     let n_labels = base.alphabet().len();
     let mut map = HashMap::new();
@@ -368,7 +367,9 @@ pub fn slowdown(
             }
         }
         let (y, z) = found.ok_or_else(|| Error::Unsupported {
-            reason: format!("no g_1/2-compatible representatives on window {ew:?} — A* does not solve Π'₁"),
+            reason: format!(
+                "no g_1/2-compatible representatives on window {ew:?} — A* does not solve Π'₁"
+            ),
         })?;
         stage1.insert(ew, (y, z));
     }
@@ -398,7 +399,9 @@ pub fn slowdown(
             }
         }
         let (a, b) = found.ok_or_else(|| Error::Unsupported {
-            reason: format!("no h-compatible representatives on window {nw:?} — A*₋₁/₂ does not solve Π'₁/₂"),
+            reason: format!(
+                "no h-compatible representatives on window {nw:?} — A*₋₁/₂ does not solve Π'₁/₂"
+            ),
         })?;
         map.insert(nw, (a, b));
     }

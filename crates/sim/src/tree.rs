@@ -54,7 +54,14 @@ impl TreeClass {
     pub fn neighbor_multisets(&self, own: usize, len: usize) -> Vec<Vec<usize>> {
         let mut out = Vec::new();
         let mut cur = Vec::with_capacity(len);
-        fn rec(c: usize, own: usize, len: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        fn rec(
+            c: usize,
+            own: usize,
+            len: usize,
+            start: usize,
+            cur: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
             if cur.len() == len {
                 out.push(cur.clone());
                 return;
@@ -107,13 +114,13 @@ impl TreeAlgorithm {
     pub fn output(&self, own: usize, neighbors: &[usize], x: usize) -> Result<Label> {
         let mut key = neighbors.to_vec();
         key.sort_unstable();
-        self.map
-            .get(&(own, key))
-            .and_then(|m| m.get(&x))
-            .copied()
-            .ok_or_else(|| Error::Unsupported {
-                reason: format!("no output for view (own={own}, neighbors={neighbors:?}, port color {x})"),
-            })
+        self.map.get(&(own, key)).and_then(|m| m.get(&x)).copied().ok_or_else(|| {
+            Error::Unsupported {
+                reason: format!(
+                    "no output for view (own={own}, neighbors={neighbors:?}, port color {x})"
+                ),
+            }
+        })
     }
 }
 
@@ -194,7 +201,11 @@ impl TreeEdgeAlgorithm {
     }
 }
 
-fn galois_closure(against: &LabelSet, c: &roundelim_core::constraint::Constraint, n: usize) -> LabelSet {
+fn galois_closure(
+    against: &LabelSet,
+    c: &roundelim_core::constraint::Constraint,
+    n: usize,
+) -> LabelSet {
     let mut out = LabelSet::empty();
     for a in 0..n {
         let la = Label::from_index(a);
@@ -326,7 +337,9 @@ pub fn derive_one_tree(
             line.iter().map(|c| label_of(&step.full.meanings, c)).collect::<Result<_>>()?;
         if !p1.node_ok(&labels) {
             return Err(Error::Unsupported {
-                reason: format!("derived 0-round output violates Π'₁'s node constraint at color {own}"),
+                reason: format!(
+                    "derived 0-round output violates Π'₁'s node constraint at color {own}"
+                ),
             });
         }
         outputs.push(labels);

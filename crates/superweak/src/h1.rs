@@ -159,11 +159,7 @@ impl PropertyAViolation {
     /// and really fails the `h_{1/2}` condition.
     pub fn verify(&self, q: &NodeOutput) -> bool {
         self.choice.len() == q.delta()
-            && self
-                .choice
-                .iter()
-                .enumerate()
-                .all(|(i, t)| q.set_at(i).contains(t))
+            && self.choice.iter().enumerate().all(|(i, t)| q.set_at(i).contains(t))
             && !choice_in_h_half(&self.choice, q.k())
     }
 }
@@ -173,9 +169,7 @@ mod tests {
     use super::*;
 
     fn ts(s: &[&str]) -> TritSet {
-        TritSet::new(s.iter().map(|x| {
-            TritSeq::new(x.bytes().map(|b| b - b'0').collect()).unwrap()
-        }))
+        TritSet::new(s.iter().map(|x| TritSeq::new(x.bytes().map(|b| b - b'0').collect()).unwrap()))
     }
 
     #[test]

@@ -62,9 +62,8 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         let mut trit_of_label = Vec::new();
         for (ix, meaning) in hs.meanings.iter().enumerate() {
-            let t = trit_of_meaning(meaning, base.alphabet(), k).unwrap_or_else(|| {
-                panic!("derived label {ix} is not of trit shape: {meaning:?}")
-            });
+            let t = trit_of_meaning(meaning, base.alphabet(), k)
+                .unwrap_or_else(|| panic!("derived label {ix} is not of trit shape: {meaning:?}"));
             seen.insert(t.clone());
             trit_of_label.push(t);
         }
@@ -93,7 +92,8 @@ mod tests {
             let formula = choice_in_h_half(&choice, k);
             let engine = derived.node().contains(cfg);
             assert_eq!(
-                engine, formula,
+                engine,
+                formula,
                 "node multiset {:?} engine={engine} formula={formula}",
                 choice.iter().map(ToString::to_string).collect::<Vec<_>>()
             );

@@ -99,7 +99,8 @@ pub fn find_p_infinity(q: &NodeOutput) -> Result<u32, Lemma1Error> {
     let threshold = (delta as u128).saturating_sub(slack);
     let mult = q.multiplicities();
     let mut qualifying = mult.iter().enumerate().filter(|&(_, &m)| m as u128 >= threshold);
-    let dominant = qualifying.next().map(|(ix, _)| ix as u32).ok_or(Lemma1Error::NoDominantElement)?;
+    let dominant =
+        qualifying.next().map(|(ix, _)| ix as u32).ok_or(Lemma1Error::NoDominantElement)?;
     if qualifying.next().is_some() {
         return Err(Lemma1Error::NotUnique);
     }

@@ -50,6 +50,9 @@ pub struct PointerSets {
 impl PointerSets {
     /// Verifies the Lemma 2 guarantees against the output and orientation.
     pub fn verify(&self, q: &NodeOutput, alpha: &[Orientation], p_inf: u32) -> bool {
+        if alpha.len() != q.delta() {
+            return false;
+        }
         if self.j_star.len() <= self.n_j_star.len() {
             return false;
         }
@@ -75,8 +78,8 @@ impl PointerSets {
         }
         // N(J*) contains every port g₁-compatible and α-opposite to J*.
         for &j in &self.j_star {
-            for p in 0..q.delta() {
-                if alpha[p] != a && q.set_at(j).g1_compatible(q.set_at(p)) && !self.n_j_star.contains(&p)
+            for (p, &ap) in alpha.iter().enumerate() {
+                if ap != a && q.set_at(j).g1_compatible(q.set_at(p)) && !self.n_j_star.contains(&p)
                 {
                     return false;
                 }
@@ -168,9 +171,9 @@ pub fn lemma2(q: &NodeOutput, alpha: &[Orientation]) -> Result<Lemma2Outcome, Le
     // Adjacency is computed per distinct-set pair, then expanded.
     let n_distinct = q.distinct_sets().len();
     let mut compat = vec![vec![false; n_distinct]; n_distinct];
-    for a in 0..n_distinct {
-        for b in 0..n_distinct {
-            compat[a][b] = q.distinct_sets()[a].g1_compatible(&q.distinct_sets()[b]);
+    for (a, row) in compat.iter_mut().enumerate() {
+        for (b, cell) in row.iter_mut().enumerate() {
+            *cell = q.distinct_sets()[a].g1_compatible(&q.distinct_sets()[b]);
         }
     }
     let mut g = Bipartite::new(i_ports.len(), delta);
@@ -189,8 +192,12 @@ pub fn lemma2(q: &NodeOutput, alpha: &[Orientation]) -> Result<Lemma2Outcome, Le
         // side still violates Hall's condition.
         let j_in: Vec<usize> =
             v.left.iter().map(|&li| i_ports[li]).filter(|&p| alpha[p] == Orientation::In).collect();
-        let j_out: Vec<usize> =
-            v.left.iter().map(|&li| i_ports[li]).filter(|&p| alpha[p] == Orientation::Out).collect();
+        let j_out: Vec<usize> = v
+            .left
+            .iter()
+            .map(|&li| i_ports[li])
+            .filter(|&p| alpha[p] == Orientation::Out)
+            .collect();
         let neighborhood = |j: &[usize]| -> Vec<usize> {
             let mut nb: Vec<usize> = Vec::new();
             for p in 0..delta {
@@ -317,9 +324,8 @@ fn build_violation(
         choice[j] = Some(qj);
     }
     // Ports outside I without 11…1 pair up with fresh P∞ ports.
-    let mut p_inf_pool: Vec<usize> = (0..delta)
-        .filter(|&p| q.id_at(p) == p_inf && choice[p].is_none())
-        .collect();
+    let mut p_inf_pool: Vec<usize> =
+        (0..delta).filter(|&p| q.id_at(p) == p_inf && choice[p].is_none()).collect();
     for p in 0..delta {
         if choice[p].is_some() || in_i[p] || q.set_at(p).contains_all_ones() {
             continue;
@@ -444,10 +450,7 @@ mod tests {
     fn alpha_length_checked() {
         let delta = 1 << 17;
         let q = NodeOutput::from_groups([(p_inf_set(), delta)]);
-        assert!(matches!(
-            lemma2(&q, &alt_alpha(delta - 1)),
-            Err(Lemma2Error::AlphaLength { .. })
-        ));
+        assert!(matches!(lemma2(&q, &alt_alpha(delta - 1)), Err(Lemma2Error::AlphaLength { .. })));
     }
 
     #[test]

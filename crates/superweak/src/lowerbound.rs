@@ -98,14 +98,14 @@ pub struct ImpossibilityWitness {
 /// Checks the §5.2 impossibility conditions and returns the witness, or
 /// `None` when the argument does not apply (Δ even, or k* too large).
 pub fn zero_round_impossibility(k_star: u128, delta: u128) -> Option<ImpossibilityWitness> {
-    if delta % 2 == 0 || delta < 3 {
+    if delta.is_multiple_of(2) || delta < 3 {
         return None;
     }
     if k_star > (delta - 3) / 2 {
         return None;
     }
     let in_ports = (delta - 1) / 2;
-    let out_ports = (delta + 1) / 2;
+    let out_ports = delta.div_ceil(2);
     // Soundness of the wiring argument: both port classes must exceed k*.
     debug_assert!(in_ports > k_star && out_ports > k_star);
     Some(ImpossibilityWitness { delta, k_star, in_ports, out_ports })
@@ -143,7 +143,7 @@ pub fn weak2_lower_bound(delta: &Tower) -> Option<(usize, Tower)> {
         .skip(1)
         .filter(|st| st.k <= log_delta)
         .map(|st| (st.round, st.k.clone()))
-        .last()?;
+        .next_back()?;
     if s == 0 {
         return None;
     }

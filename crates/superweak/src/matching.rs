@@ -119,8 +119,7 @@ pub fn maximum_matching(g: &Bipartite) -> Matching {
                 let ok = match right_match[r] {
                     None => true,
                     Some(l2) => {
-                        dist[l2] == dist[l] + 1
-                            && try_augment(l2, g, dist, left_match, right_match)
+                        dist[l2] == dist[l] + 1 && try_augment(l2, g, dist, left_match, right_match)
                     }
                 };
                 if ok {
@@ -158,9 +157,7 @@ impl HallViolator {
             return false;
         }
         let nb: std::collections::BTreeSet<usize> = self.neighborhood.iter().copied().collect();
-        self.left
-            .iter()
-            .all(|&l| g.neighbors(l).iter().all(|r| nb.contains(r)))
+        self.left.iter().all(|&l| g.neighbors(l).iter().all(|r| nb.contains(r)))
     }
 }
 
@@ -171,7 +168,8 @@ impl HallViolator {
 ///
 /// Returns `None` when the matching covers the left side.
 pub fn hall_violator(g: &Bipartite, matching: &Matching) -> Option<HallViolator> {
-    let free: Vec<usize> = (0..g.left_count).filter(|&l| matching.left_match[l].is_none()).collect();
+    let free: Vec<usize> =
+        (0..g.left_count).filter(|&l| matching.left_match[l].is_none()).collect();
     if free.is_empty() {
         return None;
     }

@@ -147,9 +147,7 @@ pub fn transform_output(
     // Canonical port order: sort by (set, α). Nodes with equal R_v agree
     // on this sorted sequence, hence on the selected multisets.
     let mut order: Vec<usize> = (0..delta).collect();
-    order.sort_by(|&a, &b| {
-        (q.set_at(a), alpha[a]).cmp(&(q.set_at(b), alpha[b]))
-    });
+    order.sort_by(|&a, &b| (q.set_at(a), alpha[a]).cmp(&(q.set_at(b), alpha[b])));
     let sorted_sets: Vec<TritSet> = order.iter().map(|&p| q.set_at(p).clone()).collect();
     let sorted_alpha: Vec<Orientation> = order.iter().map(|&p| alpha[p]).collect();
     let q_sorted = NodeOutput::new(sorted_sets);

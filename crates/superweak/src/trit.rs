@@ -70,8 +70,7 @@ impl TritSeq {
     /// Whether `self + other = 22…2` tritwise (the paper's `g_{1/2}` edge
     /// condition).
     pub fn complementary(&self, other: &TritSeq) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(&a, &b)| a + b == 2)
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(&a, &b)| a + b == 2)
     }
 
     /// The unique complementary sequence (`2 - t` at each position).
@@ -148,7 +147,7 @@ impl TritSet {
 
     /// Whether the set contains `11…1` (of the set's sequence length).
     pub fn contains_all_ones(&self) -> bool {
-        self.0.first().map_or(false, |t| self.contains(&TritSeq::all_ones(t.len())))
+        self.0.first().is_some_and(|t| self.contains(&TritSeq::all_ones(t.len())))
     }
 
     /// Iterates over the sequences in sorted order.

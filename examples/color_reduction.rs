@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(hs.problem.edge().len(), 7);
 
     // The hardening Π₁ → Π₁* and the k → k′ table.
-    println!("\n{:>3} | {:>12} | {:>22} | {:>10}", "k", "k′ (formula)", "#families (explicit)", "≥ 2^2^(k/2)");
+    println!(
+        "\n{:>3} | {:>12} | {:>22} | {:>10}",
+        "k", "k′ (formula)", "#families (explicit)", "≥ 2^2^(k/2)"
+    );
     println!("{}", "-".repeat(60));
     for k in [4usize, 6, 8] {
         let kp = k_prime(k)?;

@@ -40,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("F2 — a locally correct superweak 2-coloring, Δ = 3 (Figure 2)\n");
     // K4 is 3-regular; build an output: each node points at its successor
     // in a cyclic order (demanding), accepts from its predecessor.
-    let g = PortGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-        .expect("K4");
+    let g =
+        PortGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).expect("K4");
     let p = superweak_coloring(2, 3)?;
     // Labels: [1→, 1(, 1•, 2→, 2(, 2•] in interning order.
     let l = |name: &str| p.alphabet().require(name).expect("label");
@@ -53,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // bichromatic.
     let colors = [1usize, 2, 1, 2];
     let mut outputs: Vec<Vec<Label>> = Vec::new();
-    for v in 0..4 {
-        let c = colors[v];
+    for (v, &c) in colors.iter().enumerate() {
         let succ = (v + 1) % 4; // demanding pointer target (different color)
         let mut row = Vec::new();
         for t in g.ports(v) {

@@ -93,10 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              remedy is relaxation (for lower bounds) or hardening (§4.5: Π₁* is\n\
              just a k′-coloring), not iterating the raw transform."
         ),
-        Ok(step2) => println!(
-            "\nSecond speedup succeeded with {} labels",
-            step2.problem().alphabet().len()
-        ),
+        Ok(step2) => {
+            println!("\nSecond speedup succeeded with {} labels", step2.problem().alphabet().len())
+        }
     }
     Ok(())
 }

@@ -9,7 +9,9 @@
 use roundelim::superweak::h1::NodeOutput;
 use roundelim::superweak::lemma1::{delta_requirement, find_p_infinity, multiplicity_slack};
 use roundelim::superweak::lemma2::{lemma2, Lemma2Outcome, Orientation};
-use roundelim::superweak::transform::{h1_count_log2_bound, k_prime, transform_output, TransformOutcome};
+use roundelim::superweak::transform::{
+    h1_count_log2_bound, k_prime, transform_output, TransformOutcome,
+};
 use roundelim::superweak::trit::{TritSeq, TritSet};
 
 fn t(s: &str) -> TritSeq {
@@ -69,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q_bad = NodeOutput::new(per_port);
     match lemma2(&q_bad, &alpha)? {
         Lemma2Outcome::NotInH1(v) => {
-            println!("  balanced output: certified Q ∉ h₁ (violation verifies: {}) ✓", v.verify(&q_bad));
+            println!(
+                "  balanced output: certified Q ∉ h₁ (violation verifies: {}) ✓",
+                v.verify(&q_bad)
+            );
         }
         Lemma2Outcome::Pointers(_) => println!("  unexpected pointers"),
     }

@@ -51,5 +51,7 @@ fn main() {
             None => println!("  Δ = {delta}, k* = {k_star}: argument does not apply"),
         }
     }
-    println!("\nΩ(log* Δ) for odd-degree weak 2-coloring — reproduced ✓ (Naor–Stockmeyer open question)");
+    println!(
+        "\nΩ(log* Δ) for odd-degree weak 2-coloring — reproduced ✓ (Naor–Stockmeyer open question)"
+    );
 }

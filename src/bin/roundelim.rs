@@ -35,7 +35,11 @@ fn load(spec: &str) -> Result<Problem, String> {
     let parts: Vec<&str> = spec.split(':').collect();
     if parts.len() == 3 {
         let f = family(parts[0]).map_err(|e| e.to_string())?;
-        let k: usize = if parts[1].is_empty() { 0 } else { parts[1].parse().map_err(|_| format!("bad k `{}`", parts[1]))? };
+        let k: usize = if parts[1].is_empty() {
+            0
+        } else {
+            parts[1].parse().map_err(|_| format!("bad k `{}`", parts[1]))?
+        };
         let d: usize = parts[2].parse().map_err(|_| format!("bad Δ `{}`", parts[2]))?;
         return f.instantiate(k, d).map_err(|e| e.to_string());
     }
@@ -122,10 +126,9 @@ fn cmd_zero_round(args: &[String]) -> Result<(), String> {
     let spec = args.first().ok_or("zero-round: missing problem spec")?;
     let p = load(spec)?;
     match zero_round_pn(&p) {
-        Some(w) => println!(
-            "plain PN:  SOLVABLE — every node outputs {}",
-            w.config.display(p.alphabet())
-        ),
+        Some(w) => {
+            println!("plain PN:  SOLVABLE — every node outputs {}", w.config.display(p.alphabet()))
+        }
         None => println!("plain PN:  not 0-round solvable"),
     }
     match zero_round_oriented(&p) {

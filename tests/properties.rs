@@ -1,4 +1,12 @@
 //! Property-based tests (proptest) over the core engine's invariants.
+//!
+//! Determinism: every property pins its case count via
+//! `ProptestConfig::with_cases`, and the vendored proptest harness
+//! (`crates/compat/proptest`) seeds its RNG from the test name, so CI runs
+//! are reproducible and bounded in time with no machine-to-machine drift.
+//! Failures print a `PROPTEST_SEED=<n>` line; export that variable to
+//! replay the exact failing run. See `proptest-regressions/README.md` for
+//! how regressions are pinned when running against crates-io proptest.
 
 use proptest::prelude::*;
 use roundelim::core::config::{all_multisets, Config};
@@ -38,8 +46,7 @@ fn arb_problem() -> impl Strategy<Value = Problem> {
                 if node.is_empty() || edge.is_empty() {
                     return None;
                 }
-                let alphabet =
-                    Alphabet::from_names((0..n_labels).map(|i| format!("L{i}"))).ok()?;
+                let alphabet = Alphabet::from_names((0..n_labels).map(|i| format!("L{i}"))).ok()?;
                 let node = Constraint::from_configs(delta, node).ok()?;
                 let edge = Constraint::from_configs(2, edge).ok()?;
                 Problem::new("random", alphabet, node, edge).ok()

@@ -1,0 +1,75 @@
+//! Registry-wide instantiation and text round-trip tests: every family in
+//! the zoo must construct at its smallest legal `(k, Δ)` and survive
+//! `Problem::to_text` → `Problem::parse` unchanged.
+
+use roundelim::problems::registry::{families, family};
+use roundelim_core::problem::Problem;
+
+/// The smallest `(k, delta)` (ordered by `k + delta`, then `delta`) the
+/// family accepts within a generous probe window, with the instance.
+fn smallest_legal(f: &roundelim::problems::registry::Family) -> Option<(usize, usize, Problem)> {
+    let mut candidates: Vec<(usize, usize)> =
+        (0..=6).flat_map(|k| (0..=6).map(move |d| (k, d))).collect();
+    candidates.sort_by_key(|&(k, d)| (k + d, d));
+    for (k, d) in candidates {
+        if let Ok(p) = f.instantiate(k, d) {
+            return Some((k, d, p));
+        }
+    }
+    None
+}
+
+#[test]
+fn every_family_has_a_smallest_legal_instance() {
+    for f in families() {
+        let (k, d, p) = smallest_legal(f)
+            .unwrap_or_else(|| panic!("{}: no legal (k, Δ) with k, Δ ≤ 6", f.name));
+        assert_eq!(p.delta(), d, "{}: instance disagrees with requested Δ", f.name);
+        assert!(!p.alphabet().is_empty(), "{}: empty alphabet at ({k}, {d})", f.name);
+        assert!(!p.node().is_empty(), "{}: empty node constraint at ({k}, {d})", f.name);
+        assert!(!p.edge().is_empty(), "{}: empty edge constraint at ({k}, {d})", f.name);
+    }
+}
+
+#[test]
+fn every_family_round_trips_through_text() {
+    for f in families() {
+        let (k, d, p) = smallest_legal(f).expect("legal instance");
+        let text = p.to_text();
+        let reparsed = Problem::parse(&text).unwrap_or_else(|e| {
+            panic!("{}: to_text output failed to parse at ({k}, {d}): {e}\n{text}", f.name)
+        });
+        assert_eq!(reparsed, p, "{}: parse(to_text) round trip at ({k}, {d})", f.name);
+    }
+}
+
+#[test]
+fn families_reject_degenerate_parameters() {
+    for f in families() {
+        // Δ = 0 yields no ports at all; no family accepts it.
+        assert!(f.instantiate(3, 0).is_err(), "{}: accepted Δ = 0", f.name);
+    }
+}
+
+#[test]
+fn instances_stay_parseable_across_a_parameter_sweep() {
+    for f in families() {
+        for d in 2..=4 {
+            for k in 2..=4 {
+                if let Ok(p) = f.instantiate(k, d) {
+                    let re = Problem::parse(&p.to_text())
+                        .unwrap_or_else(|e| panic!("{} at ({k}, {d}): {e}", f.name));
+                    assert_eq!(re, p, "{} at ({k}, {d})", f.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn registry_lookup_matches_iteration() {
+    for f in families() {
+        assert_eq!(family(f.name).expect("registered").name, f.name);
+    }
+    assert!(family("no-such-family").is_err());
+}

@@ -11,7 +11,9 @@ use roundelim::problems::matching::maximal_matching;
 use roundelim::problems::mis::mis;
 use roundelim::problems::sinkless::{sinkless_coloring, sinkless_orientation};
 use roundelim::problems::weak::weak_coloring_pointer;
-use roundelim::sim::ring::{check_node_algorithm, slowdown, speedup_algorithm, RingClass, WindowAlgorithm};
+use roundelim::sim::ring::{
+    check_node_algorithm, slowdown, speedup_algorithm, RingClass, WindowAlgorithm,
+};
 
 #[test]
 fn e1_sinkless_fixed_point_all_deltas() {
