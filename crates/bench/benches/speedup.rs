@@ -12,7 +12,7 @@ use roundelim_problems::weak::weak_coloring_pointer;
 
 fn bench_sinkless(c: &mut Criterion) {
     let mut group = c.benchmark_group("E1_sinkless_full_step");
-    for delta in [3usize, 4, 5, 6, 7] {
+    for delta in [3usize, 4, 5, 6, 7, 8, 9, 10] {
         let sc = sinkless_coloring(delta).expect("valid Δ");
         // Print the regenerated row once.
         let step = full_step(&sc).expect("no overflow");
@@ -31,7 +31,7 @@ fn bench_sinkless(c: &mut Criterion) {
 
 fn bench_coloring(c: &mut Criterion) {
     let mut group = c.benchmark_group("E2_coloring_half_step");
-    for k in [3usize, 4, 5] {
+    for k in [3usize, 4, 5, 6] {
         let p = coloring(k, 2).expect("valid k");
         let hs = half_step_edge(&p).expect("no overflow");
         println!(
@@ -49,7 +49,7 @@ fn bench_coloring(c: &mut Criterion) {
 fn bench_weak2(c: &mut Criterion) {
     let mut group = c.benchmark_group("E3_weak2_full_step");
     group.sample_size(10);
-    for delta in [3usize, 5, 7] {
+    for delta in [3usize, 5, 7, 9] {
         let p = weak_coloring_pointer(2, delta).expect("valid Δ");
         let step = full_step(&p).expect("no overflow");
         println!(

@@ -1,0 +1,59 @@
+//! Perf-trajectory smoke harness: runs the speedup benchmark families in
+//! sample mode and writes `BENCH_speedup.json` (per-`(family, parameter)`
+//! median ns) to the current directory — CI archives the file so future
+//! changes have a baseline to diff against.
+//!
+//! Families and parameters mirror `benches/speedup.rs`:
+//!
+//! * `E1_sinkless_full_step` — Δ = 3..=10
+//! * `E2_coloring_half_step` — k = 3..=6
+//! * `E3_weak2_full_step`    — Δ = 3, 5, 7, 9
+//!
+//! Keep this fast (seconds, not minutes): it is a smoke job, not a
+//! statistics job. Set `BENCH_SMOKE_OUT` to change the output path.
+
+use roundelim_bench::{calibrate_iters, measure, to_json, Measurement};
+use roundelim_core::speedup::{full_step, half_step_edge};
+use roundelim_problems::coloring::coloring;
+use roundelim_problems::sinkless::sinkless_coloring;
+use roundelim_problems::weak::weak_coloring_pointer;
+use std::hint::black_box;
+
+const SAMPLES: usize = 5;
+/// Per-sample time budget: enough to amortize timer noise on µs-scale
+/// cases without stretching the slow ones.
+const BUDGET_NS: u64 = 20_000_000;
+
+fn case(out: &mut Vec<Measurement>, family: &str, param: usize, mut f: impl FnMut()) {
+    let iters = calibrate_iters(BUDGET_NS, &mut f);
+    let median_ns = measure(SAMPLES, iters, &mut f);
+    println!("bench-smoke {family}/{param}: {median_ns} ns/iter ({iters} iters)");
+    out.push(Measurement { family: family.to_owned(), param, median_ns, iters });
+}
+
+fn main() {
+    let mut results: Vec<Measurement> = Vec::new();
+
+    for delta in 3..=10 {
+        let p = sinkless_coloring(delta).expect("valid Δ");
+        case(&mut results, "E1_sinkless_full_step", delta, || {
+            black_box(full_step(&p).expect("no overflow"));
+        });
+    }
+    for k in 3..=6 {
+        let p = coloring(k, 2).expect("valid k");
+        case(&mut results, "E2_coloring_half_step", k, || {
+            black_box(half_step_edge(&p).expect("no overflow"));
+        });
+    }
+    for delta in [3usize, 5, 7, 9] {
+        let p = weak_coloring_pointer(2, delta).expect("valid Δ");
+        case(&mut results, "E3_weak2_full_step", delta, || {
+            black_box(full_step(&p).expect("no overflow"));
+        });
+    }
+
+    let path = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_speedup.json".to_owned());
+    std::fs::write(&path, to_json(&results)).expect("write BENCH_speedup.json");
+    println!("wrote {path} ({} cases)", results.len());
+}

@@ -1,1 +1,119 @@
-//! Benchmark-only crate; see `benches/`.
+//! Benchmark support for the round-elimination workspace.
+//!
+//! The statistical benchmarks live in `benches/` (run with `cargo bench`).
+//! This library holds the shared measurement helpers behind the
+//! `bench_smoke` binary, which runs the speedup families in sample mode
+//! and emits `BENCH_speedup.json` — a per-`(family, parameter)` median-ns
+//! record that CI archives so successive PRs have a perf trajectory to
+//! compare against.
+
+use std::time::Instant;
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark family, e.g. `E1_sinkless_full_step`.
+    pub family: String,
+    /// Family parameter (Δ or k).
+    pub param: usize,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: u64,
+    /// Iterations per sample the median was taken over.
+    pub iters: u32,
+}
+
+/// Measures `f` in sample mode: one warm-up call, then `samples` timed
+/// batches of `iters` iterations each; returns the median per-iteration
+/// nanoseconds. `iters` is chosen by the caller to amortize timer noise on
+/// fast cases (sub-µs work needs hundreds of iterations per batch).
+pub fn measure<F: FnMut()>(samples: usize, iters: u32, mut f: F) -> u64 {
+    assert!(samples > 0 && iters > 0);
+    f(); // warm-up (first call pays lazy caches and allocator warmup)
+    let mut per_iter: Vec<u64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter.push(start.elapsed().as_nanos() as u64 / u64::from(iters));
+    }
+    per_iter.sort_unstable();
+    per_iter[per_iter.len() / 2]
+}
+
+/// Picks an iteration count that spends roughly `budget_ns` per sample,
+/// based on one throwaway timing of `f` (clamped to `[1, 10_000]`). The
+/// probe runs after a warm-up call so lazy caches and allocator warmup do
+/// not deflate the first family's iteration count.
+pub fn calibrate_iters<F: FnMut()>(budget_ns: u64, mut f: F) -> u32 {
+    f(); // warm-up: the timed probe should see steady-state cost
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().as_nanos().max(1) as u64;
+    (budget_ns / once).clamp(1, 10_000) as u32
+}
+
+/// Renders measurements as the `BENCH_speedup.json` document.
+///
+/// Hand-rolled writer: the workspace's offline serde stub ships no data
+/// format, and the schema is a flat list of records.
+pub fn to_json(measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"roundelim-bench-v1\",\n  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"param\": {}, \"median_ns\": {}, \"iters\": {}}}{}\n",
+            m.family,
+            m.param,
+            m.median_ns,
+            m.iters,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_median() {
+        let mut x = 0u64;
+        let ns = measure(3, 10, || x = x.wrapping_add(1).wrapping_mul(31));
+        assert!(x > 0);
+        // Median of a non-empty sample set; zero is fine for sub-ns work,
+        // the call itself must not panic.
+        let _ = ns;
+    }
+
+    #[test]
+    fn calibrate_clamps() {
+        let iters = calibrate_iters(1_000_000, || std::thread::sleep(std::time::Duration::ZERO));
+        assert!((1..=10_000).contains(&iters));
+    }
+
+    #[test]
+    fn json_shape() {
+        let ms = vec![
+            Measurement {
+                family: "E1_sinkless_full_step".into(),
+                param: 7,
+                median_ns: 1234,
+                iters: 100,
+            },
+            Measurement {
+                family: "E2_coloring_half_step".into(),
+                param: 6,
+                median_ns: 5,
+                iters: 1,
+            },
+        ];
+        let json = to_json(&ms);
+        assert!(json.contains("\"schema\": \"roundelim-bench-v1\""));
+        assert!(json.contains("\"family\": \"E1_sinkless_full_step\", \"param\": 7"));
+        assert!(json.trim_end().ends_with('}'));
+        // exactly one comma between the two records
+        assert_eq!(json.matches("},").count(), 1);
+    }
+}

@@ -8,10 +8,18 @@ use crate::config::Config;
 use crate::error::{Error, Result};
 use crate::label::{Alphabet, Label};
 use crate::labelset::LabelSet;
+use crate::trie::ConfigTrie;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 /// A set of allowed label configurations, all of the same arity.
+///
+/// Alongside the ordered `BTreeSet` of configurations, a constraint lazily
+/// builds and caches a [`ConfigTrie`] index (see [`Constraint::trie`]): the
+/// speedup engine's universal checks walk the trie instead of probing the
+/// set per candidate choice. The cache is invalidated on mutation and is
+/// invisible to equality, hashing, and serialization.
 ///
 /// ```
 /// use roundelim_core::constraint::Constraint;
@@ -22,10 +30,27 @@ use std::collections::BTreeSet;
 /// g.insert(Config::new(vec![l(0), l(1)])).unwrap();
 /// assert!(g.contains(&Config::new(vec![l(1), l(0)])));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Constraint {
     arity: usize,
     configs: BTreeSet<Config>,
+    /// Lazily built trie index over `configs`; reset by every mutation.
+    trie: OnceLock<ConfigTrie>,
+}
+
+impl PartialEq for Constraint {
+    fn eq(&self, other: &Constraint) -> bool {
+        self.arity == other.arity && self.configs == other.configs
+    }
+}
+
+impl Eq for Constraint {}
+
+impl std::hash::Hash for Constraint {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.arity.hash(state);
+        self.configs.hash(state);
+    }
 }
 
 impl Constraint {
@@ -38,7 +63,7 @@ impl Constraint {
         if arity == 0 {
             return Err(Error::EmptyArity);
         }
-        Ok(Constraint { arity, configs: BTreeSet::new() })
+        Ok(Constraint { arity, configs: BTreeSet::new(), trie: OnceLock::new() })
     }
 
     /// Builds a constraint from configurations, checking arities.
@@ -56,6 +81,16 @@ impl Constraint {
             c.insert(cfg)?;
         }
         Ok(c)
+    }
+
+    /// Builds a constraint from configurations already in ascending order
+    /// without arity checks: the ordered `BTreeSet` bulk-loads in linear
+    /// time instead of rebalancing per insert. Callers guarantee every
+    /// configuration has arity `arity` (debug-asserted).
+    pub(crate) fn from_sorted_configs_unchecked(arity: usize, configs: Vec<Config>) -> Constraint {
+        debug_assert!(configs.iter().all(|c| c.arity() == arity));
+        debug_assert!(configs.windows(2).all(|w| w[0] < w[1]), "configs must be sorted and unique");
+        Constraint { arity, configs: configs.into_iter().collect(), trie: OnceLock::new() }
     }
 
     /// The arity of every configuration in this constraint.
@@ -83,12 +118,31 @@ impl Constraint {
         if cfg.arity() != self.arity {
             return Err(Error::ArityMismatch { expected: self.arity, found: cfg.arity() });
         }
-        Ok(self.configs.insert(cfg))
+        let newly = self.configs.insert(cfg);
+        if newly {
+            self.trie.take(); // the cached index no longer matches
+        }
+        Ok(newly)
     }
 
     /// Membership test (multiset semantics, any label order).
     pub fn contains(&self, cfg: &Config) -> bool {
         self.configs.contains(cfg)
+    }
+
+    /// Membership test of an already-sorted label slice via the cached
+    /// trie index: no allocation, no per-probe `Config` construction.
+    ///
+    /// Prefer this over [`Constraint::contains`] in loops that already
+    /// hold sorted labels. Returns `false` on arity mismatch.
+    pub fn contains_sorted(&self, labels: &[Label]) -> bool {
+        self.trie().contains_sorted(labels)
+    }
+
+    /// The trie index over this constraint's configurations, built on
+    /// first use and cached until the next mutation.
+    pub fn trie(&self) -> &ConfigTrie {
+        self.trie.get_or_init(|| ConfigTrie::build(self.arity, self.configs.iter()))
     }
 
     /// Convenience membership test from an unsorted label slice.
@@ -118,7 +172,7 @@ impl Constraint {
     /// Used for renaming/restriction; the arity is preserved.
     pub fn map_labels<F: FnMut(Label) -> Label>(&self, mut f: F) -> Constraint {
         let configs = self.configs.iter().map(|c| c.map(&mut f)).collect();
-        Constraint { arity: self.arity, configs }
+        Constraint { arity: self.arity, configs, trie: OnceLock::new() }
     }
 
     /// Returns the sub-constraint of configurations whose labels all lie in
@@ -126,7 +180,7 @@ impl Constraint {
     pub fn restrict(&self, allowed: &LabelSet) -> Constraint {
         let configs =
             self.configs.iter().filter(|c| c.support().is_subset(allowed)).cloned().collect();
-        Constraint { arity: self.arity, configs }
+        Constraint { arity: self.arity, configs, trie: OnceLock::new() }
     }
 
     /// Validates every configuration against an alphabet.
@@ -244,6 +298,19 @@ mod tests {
         assert!(!m[1][1] && !m[2][2] && !m[0][2]);
         let h = Constraint::from_configs(3, [cfg(&[0, 0, 0])]).unwrap();
         assert!(h.compatibility_matrix(3).is_err());
+    }
+
+    #[test]
+    fn trie_cache_tracks_mutation() {
+        let mut c = Constraint::from_configs(2, [cfg(&[0, 1])]).unwrap();
+        assert!(c.contains_sorted(&[l(0), l(1)]));
+        assert!(!c.contains_sorted(&[l(0), l(0)]));
+        c.insert(cfg(&[0, 0])).unwrap();
+        assert!(c.contains_sorted(&[l(0), l(0)])); // index rebuilt after insert
+        assert!(!c.contains_sorted(&[l(0)])); // arity mismatch
+                                              // The cache is invisible to equality and hashing.
+        let fresh = Constraint::from_configs(2, [cfg(&[0, 1]), cfg(&[0, 0])]).unwrap();
+        assert_eq!(c, fresh);
     }
 
     #[test]

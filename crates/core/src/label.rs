@@ -63,8 +63,12 @@ impl fmt::Display for Label {
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct Alphabet {
     names: Vec<String>,
+    /// Name → label lookup, built lazily on first use: the speedup
+    /// transform constructs many short-lived alphabets that are never
+    /// queried by name, so eager index building (one hash + one `String`
+    /// clone per label) would dominate their construction cost.
     #[serde(skip)]
-    index: HashMap<String, Label>,
+    index: std::sync::OnceLock<HashMap<String, Label>>,
 }
 
 impl PartialEq for Alphabet {
@@ -91,9 +95,7 @@ impl<'de> Deserialize<'de> for Alphabet {
             names: Vec<String>,
         }
         let raw = Raw::deserialize(deserializer)?;
-        let mut a = Alphabet { names: raw.names, index: HashMap::new() };
-        a.rebuild_index();
-        Ok(a)
+        Ok(Alphabet { names: raw.names, index: std::sync::OnceLock::new() })
     }
 }
 
@@ -129,16 +131,30 @@ impl Alphabet {
     /// [`Error::AlphabetOverflow`] if the alphabet is full.
     pub fn intern<S: Into<String>>(&mut self, name: S) -> Result<Label> {
         let name = name.into();
-        if self.index.contains_key(&name) {
+        if self.lookup(&name).is_some() {
             return Err(Error::DuplicateLabel { name });
         }
         if self.names.len() >= crate::labelset::MAX_LABELS {
             return Err(Error::AlphabetOverflow { requested: self.names.len() + 1 });
         }
         let l = Label(self.names.len() as u16);
-        self.index.insert(name.clone(), l);
+        if let Some(index) = self.index.get_mut() {
+            index.insert(name.clone(), l);
+        }
         self.names.push(name);
         Ok(l)
+    }
+
+    /// Builds an alphabet from names the caller guarantees to be distinct
+    /// (debug-asserted), skipping per-name duplicate probes; the lookup
+    /// index stays unbuilt until first queried.
+    pub(crate) fn from_unique_names_unchecked(names: Vec<String>) -> Alphabet {
+        debug_assert!(names.len() <= crate::labelset::MAX_LABELS);
+        debug_assert!(
+            (1..names.len()).all(|i| !names[..i].contains(&names[i])),
+            "from_unique_names_unchecked requires distinct names"
+        );
+        Alphabet { names, index: std::sync::OnceLock::new() }
     }
 
     /// Interns a name if new, otherwise returns the existing label.
@@ -151,7 +167,10 @@ impl Alphabet {
 
     /// Looks a name up.
     pub fn lookup(&self, name: &str) -> Option<Label> {
-        self.index.get(name).copied()
+        let index = self.index.get_or_init(|| {
+            self.names.iter().enumerate().map(|(i, n)| (n.clone(), Label(i as u16))).collect()
+        });
+        index.get(name).copied()
     }
 
     /// Looks a name up, erroring on absence.
@@ -196,12 +215,6 @@ impl Alphabet {
     /// All names, in index order.
     pub fn names(&self) -> &[String] {
         &self.names
-    }
-
-    /// Rebuilds the internal lookup index (used after deserialization).
-    pub(crate) fn rebuild_index(&mut self) {
-        self.index =
-            self.names.iter().enumerate().map(|(i, n)| (n.clone(), Label(i as u16))).collect();
     }
 }
 

@@ -159,6 +159,13 @@ impl LabelSet {
         LabelSet { words: w }
     }
 
+    /// The raw backing words (crate-internal; lets the line pool hash sets
+    /// without going through the generic `Hash` machinery).
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64; WORDS] {
+        &self.words
+    }
+
     /// Iterates over the labels in increasing index order.
     pub fn iter(&self) -> Iter {
         Iter { set: *self, word: 0, mask: self.words[0] }
@@ -167,6 +174,31 @@ impl LabelSet {
     /// The smallest label in the set, if any. (Named to avoid clashing with `Ord::min`.)
     pub fn min_label(&self) -> Option<Label> {
         self.iter().next()
+    }
+
+    /// The smallest label with index ≥ `from`, if any.
+    ///
+    /// This is the branch-light cursor step of the trie engine's
+    /// label-ordered DFS (see [`crate::trie::ConfigTrie`]): two shifts and
+    /// a trailing-zeros count per word, no iteration over set members.
+    #[inline]
+    pub fn min_label_at_least(&self, from: usize) -> Option<Label> {
+        if from >= MAX_LABELS {
+            return None;
+        }
+        let (mut w, b) = (from / 64, from % 64);
+        // Mask off bits below `from` in its word, then scan upward.
+        let mut word = self.words[w] & (!0u64 << b);
+        loop {
+            if word != 0 {
+                return Some(Label::from_index(w * 64 + word.trailing_zeros() as usize));
+            }
+            w += 1;
+            if w >= WORDS {
+                return None;
+            }
+            word = self.words[w];
+        }
     }
 }
 
@@ -339,6 +371,19 @@ mod tests {
         let v: Vec<usize> = s.iter().map(|x| x.index()).collect();
         assert_eq!(v, vec![3, 65, 200]);
         assert_eq!(s.min_label(), Some(l(3)));
+    }
+
+    #[test]
+    fn min_label_at_least_scans_forward() {
+        let s = LabelSet::from_labels([l(3), l(65), l(200)]);
+        assert_eq!(s.min_label_at_least(0), Some(l(3)));
+        assert_eq!(s.min_label_at_least(3), Some(l(3)));
+        assert_eq!(s.min_label_at_least(4), Some(l(65)));
+        assert_eq!(s.min_label_at_least(65), Some(l(65)));
+        assert_eq!(s.min_label_at_least(66), Some(l(200)));
+        assert_eq!(s.min_label_at_least(201), None);
+        assert_eq!(s.min_label_at_least(400), None);
+        assert_eq!(LabelSet::empty().min_label_at_least(0), None);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod problem;
 pub mod relax;
 pub mod sequence;
 pub mod speedup;
+pub mod trie;
 pub mod zero_round;
 
 pub use config::Config;

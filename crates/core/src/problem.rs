@@ -65,6 +65,22 @@ impl Problem {
         Ok(Problem { name: name.into(), alphabet, node, edge })
     }
 
+    /// Assembles a problem from parts the caller guarantees consistent
+    /// (constraints only use alphabet labels, edge arity 2); validation
+    /// runs in debug builds only. For engine-derived problems whose labels
+    /// are in-range by construction.
+    pub(crate) fn new_unchecked(
+        name: String,
+        alphabet: Alphabet,
+        node: Constraint,
+        edge: Constraint,
+    ) -> Problem {
+        debug_assert!(node.validate(&alphabet).is_ok());
+        debug_assert!(edge.validate(&alphabet).is_ok());
+        debug_assert_eq!(edge.arity(), 2);
+        Problem { name, alphabet, node, edge }
+    }
+
     /// Assembles a problem whose edge side has arbitrary arity (hypergraph
     /// generalization used by some tests/oracles). Most callers want
     /// [`Problem::new`].
@@ -131,6 +147,12 @@ impl Problem {
         self.node.used_labels().intersection(&self.edge.used_labels())
     }
 
+    /// Whether [`Problem::compress`] would be the identity: every alphabet
+    /// label is usable, so there is nothing to drop.
+    pub fn is_fully_usable(&self) -> bool {
+        self.usable_labels() == LabelSet::first_n(self.alphabet.len())
+    }
+
     /// Removes unusable labels and configurations mentioning them, iterating
     /// to a fixed point; returns the compressed problem and the mapping from
     /// old to new labels (None for dropped ones).
@@ -138,6 +160,13 @@ impl Problem {
     /// Compressing never changes solvability: dropped labels cannot occur in
     /// any correct solution.
     pub fn compress(&self) -> (Problem, Vec<Option<Label>>) {
+        // Fast path: every alphabet label is usable — nothing to drop, no
+        // constraint rebuilds, identity mapping. Fixed-point problems hit
+        // this on every speedup step.
+        if self.is_fully_usable() {
+            let mapping = (0..self.alphabet.len()).map(|i| Some(Label::from_index(i))).collect();
+            return (self.clone(), mapping);
+        }
         let mut node = self.node.clone();
         let mut edge = self.edge.clone();
         loop {

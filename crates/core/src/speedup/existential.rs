@@ -27,17 +27,77 @@ pub fn exists_choice(sets: &[LabelSet], d: &Constraint) -> bool {
 
 /// Whether the multiset `labels` can be assigned bijectively to positions
 /// such that `labels[i] ∈ sets[assign(i)]`.
+///
+/// Runs as a candidate-bitmask backtracking matcher (one `u64` mask per
+/// label, no allocation) for the arities that occur in practice; arities
+/// above 64 fall back to a boolean-vector matcher.
 pub fn config_matches(labels: &[Label], sets: &[LabelSet]) -> bool {
     debug_assert_eq!(labels.len(), sets.len());
+    let n = labels.len();
+    if n > 64 {
+        return config_matches_general(labels, sets);
+    }
+    // cand[i]: positions whose set admits labels[i]. Equal labels share a
+    // mask, so the per-label loop reuses the previous mask for runs.
+    let mut cand = [0u64; 64];
+    for (i, &l) in labels.iter().enumerate() {
+        let mask = if i > 0 && labels[i - 1] == l {
+            cand[i - 1]
+        } else {
+            let mut m = 0u64;
+            for (j, s) in sets.iter().enumerate() {
+                if s.contains(l) {
+                    m |= 1 << j;
+                }
+            }
+            m
+        };
+        if mask == 0 {
+            return false;
+        }
+        cand[i] = mask;
+    }
+    matches_masks(&cand[..n])
+}
+
+/// Bijective matching over per-item candidate masks: greedy first (the
+/// common success path needs no recursion), full backtracking only when
+/// the greedy pass jams.
+pub(crate) fn matches_masks(cand: &[u64]) -> bool {
+    let mut used = 0u64;
+    for &m in cand {
+        let avail = m & !used;
+        if avail == 0 {
+            return matches_masks_backtrack(cand, 0, 0);
+        }
+        used |= avail & avail.wrapping_neg();
+    }
+    true
+}
+
+fn matches_masks_backtrack(cand: &[u64], used: u64, i: usize) -> bool {
+    if i == cand.len() {
+        return true;
+    }
+    let mut avail = cand[i] & !used;
+    while avail != 0 {
+        let j = avail & avail.wrapping_neg();
+        if matches_masks_backtrack(cand, used | j, i + 1) {
+            return true;
+        }
+        avail ^= j;
+    }
+    false
+}
+
+/// Fallback matcher for arities above 64 (no bitmasks).
+fn config_matches_general(labels: &[Label], sets: &[LabelSet]) -> bool {
     let n = labels.len();
     let mut used = vec![false; n];
     fn assign(labels: &[Label], sets: &[LabelSet], used: &mut [bool], i: usize) -> bool {
         if i == labels.len() {
             return true;
         }
-        // Skip over equal labels deterministically: positions are
-        // interchangeable for equal labels, so only try each distinct set
-        // once per label value.
         for j in 0..sets.len() {
             if !used[j] && sets[j].contains(labels[i]) {
                 used[j] = true;
@@ -58,10 +118,86 @@ pub fn config_matches(labels: &[Label], sets: &[LabelSet]) -> bool {
 /// `meanings[i]` is the old-label set denoted by new label `i`.
 ///
 /// The output configurations are over the *new* alphabet.
+///
+/// The choice test is incremental: per old label, a bitmask of multiset
+/// positions whose meaning contains it is maintained across the multiset
+/// enumeration (updated as positions are pushed and popped), so each leaf
+/// runs the bijective matcher straight off precomputed masks instead of
+/// rebuilding position sets per configuration probe. Arities above 64 take
+/// the allocation-per-leaf fallback.
 pub fn existential_constraint(meanings: &[LabelSet], d: &Constraint) -> Constraint {
     let s = d.arity();
     let m = meanings.len();
-    let mut out = Constraint::new(s).expect("arity ≥ 1 by Constraint invariant");
+    if s > 64 {
+        return existential_constraint_general(meanings, d);
+    }
+    // The multiset enumeration emits accepted configurations in ascending
+    // lexicographic order, so the result bulk-loads from a sorted vector.
+    let mut out: Vec<Config> = Vec::new();
+    // masks[l]: positions of the current partial multiset whose meaning
+    // contains old label `l`. Sized by d's support.
+    let max_label = d.iter().flat_map(Config::iter).map(Label::index).max();
+    let Some(max_label) = max_label else {
+        return Constraint::new(s).expect("arity ≥ 1 by Constraint invariant");
+    };
+    let mut masks: Vec<u64> = vec![0; max_label + 1];
+    let mut stack: Vec<usize> = Vec::with_capacity(s);
+    let mut cand = [0u64; 64];
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        meanings: &[LabelSet],
+        d: &Constraint,
+        m: usize,
+        s: usize,
+        start: usize,
+        stack: &mut Vec<usize>,
+        masks: &mut [u64],
+        cand: &mut [u64],
+        out: &mut Vec<Config>,
+    ) {
+        if stack.len() == s {
+            'configs: for cfg in d.iter() {
+                for (i, &l) in cfg.labels().iter().enumerate() {
+                    let mask = masks[l.index()];
+                    if mask == 0 {
+                        continue 'configs;
+                    }
+                    cand[i] = mask;
+                }
+                if matches_masks(cand) {
+                    out.push(Config::new(stack.iter().map(|&i| Label::from_index(i)).collect()));
+                    return;
+                }
+            }
+            return;
+        }
+        let bit = 1u64 << stack.len();
+        for i in start..m {
+            stack.push(i);
+            for l in meanings[i].iter() {
+                if let Some(slot) = masks.get_mut(l.index()) {
+                    *slot |= bit;
+                }
+            }
+            rec(meanings, d, m, s, i, stack, masks, cand, out);
+            for l in meanings[i].iter() {
+                if let Some(slot) = masks.get_mut(l.index()) {
+                    *slot &= !bit;
+                }
+            }
+            stack.pop();
+        }
+    }
+    rec(meanings, d, m, s, 0, &mut stack, &mut masks, &mut cand[..s], &mut out);
+    Constraint::from_sorted_configs_unchecked(s, out)
+}
+
+/// Fallback enumeration for arities above the matcher's 64-bit width.
+fn existential_constraint_general(meanings: &[LabelSet], d: &Constraint) -> Constraint {
+    let mut out = Constraint::new(d.arity()).expect("arity ≥ 1 by Constraint invariant");
+    let s = d.arity();
+    let m = meanings.len();
     let mut stack: Vec<usize> = Vec::with_capacity(s);
     fn rec(
         meanings: &[LabelSet],

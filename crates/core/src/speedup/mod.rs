@@ -17,6 +17,7 @@
 //! ```
 
 pub mod existential;
+pub(crate) mod pool;
 pub mod step;
 pub mod universal;
 
@@ -24,4 +25,4 @@ pub use step::{
     full_step, full_step_unsimplified, half_step_edge, half_step_edge_unsimplified, half_step_node,
     half_step_node_unsimplified, FullStep, HalfStep, Side,
 };
-pub use universal::{dominates, line_good, maximal_good_lines, Line};
+pub use universal::{dominates, line_good, maximal_good_lines, maximal_good_lines_threaded, Line};

@@ -1,0 +1,209 @@
+//! Interned line storage for the merge-closure engine.
+//!
+//! The closure over merges touches the same canonical lines many times:
+//! every merge of two kept lines re-derives mostly-known candidates, and
+//! every candidate is compared against the antichain. A [`LinePool`]
+//! interns each distinct line once into a flat arena (`id * arity`
+//! addressing, no per-line heap allocation) and hands out dense `u32` ids,
+//! so
+//!
+//! * "have we ever seen this line?" is one hash probe plus a slice compare
+//!   (replacing a `HashSet<Vec<LabelSet>>` that re-hashed an owned vector
+//!   per query and allocated per insert), and
+//! * every interned line carries a [`Sig`] — its component-size multiset
+//!   and the union of its components — used as a cheap necessary-condition
+//!   filter in front of the backtracking domination matcher.
+//!
+//! Ids are assigned in first-intern order, which the engine keeps
+//! deterministic across thread counts (workers emit in item order and the
+//! single interning thread consumes chunk outputs in item order).
+
+use crate::labelset::LabelSet;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Pass-through hasher for keys that are already well-mixed 64-bit hashes
+/// ([`hash_line`] output); skips SipHash on the pool's hot probe path.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher is only used with u64 keys");
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// An arena of canonical (component-sorted) lines of one fixed arity.
+#[derive(Debug, Clone)]
+pub(crate) struct LinePool {
+    arity: usize,
+    /// Concatenated components; line `id` lives at `id*arity .. (id+1)*arity`.
+    data: Vec<LabelSet>,
+    sigs: Vec<Sig>,
+    /// Content hash → ids with that hash (collisions resolved by compare).
+    map: HashMap<u64, Vec<u32>, BuildHasherDefault<IdentityHasher>>,
+    /// Most recently interned-or-looked-up id: merge enumeration emits
+    /// runs of identical candidates, which this memo answers with a single
+    /// slice compare instead of a hash + probe.
+    last: Option<u32>,
+}
+
+/// Cheap domination pre-filter data for one line.
+///
+/// If `a` dominates `b` (componentwise ⊆ under some alignment), then
+/// `union(b) ⊆ union(a)` and the ascending-sorted component sizes of `b`
+/// are pointwise ≤ those of `a` (a matching where each `b`-component fits
+/// in its partner induces the sorted pointwise bound). Both checks are a
+/// handful of word ops, against a backtracking matcher that is worst-case
+/// factorial.
+#[derive(Debug, Clone)]
+struct Sig {
+    union: LabelSet,
+    /// Component sizes, sorted ascending.
+    sizes: Vec<u16>,
+}
+
+impl Sig {
+    fn of(line: &[LabelSet]) -> Sig {
+        let mut union = LabelSet::empty();
+        let mut sizes: Vec<u16> = Vec::with_capacity(line.len());
+        for s in line {
+            union = union.union(s);
+            sizes.push(s.len() as u16);
+        }
+        sizes.sort_unstable();
+        Sig { union, sizes }
+    }
+}
+
+impl LinePool {
+    pub(crate) fn new(arity: usize) -> LinePool {
+        LinePool { arity, data: Vec::new(), sigs: Vec::new(), map: HashMap::default(), last: None }
+    }
+
+    /// Number of interned lines.
+    pub(crate) fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// The components of line `id`.
+    #[inline]
+    pub(crate) fn get(&self, id: u32) -> &[LabelSet] {
+        let start = id as usize * self.arity;
+        &self.data[start..start + self.arity]
+    }
+
+    /// Interns a canonical line, returning its id and whether it is new.
+    ///
+    /// The slice is copied into the arena only on first sight, so callers
+    /// can intern straight from a reusable scratch buffer.
+    pub(crate) fn intern(&mut self, line: &[LabelSet]) -> (u32, bool) {
+        debug_assert_eq!(line.len(), self.arity);
+        debug_assert!(line.windows(2).all(|w| w[0] <= w[1]), "intern needs a canonical line");
+        if let Some(last) = self.last {
+            if self.get(last) == line {
+                return (last, false);
+            }
+        }
+        let h = hash_line(line);
+        if let Some(ids) = self.map.get(&h) {
+            for &id in ids {
+                if self.get(id) == line {
+                    self.last = Some(id);
+                    return (id, false);
+                }
+            }
+        }
+        let id = self.sigs.len() as u32;
+        self.data.extend_from_slice(line);
+        self.sigs.push(Sig::of(line));
+        self.map.entry(h).or_default().push(id);
+        self.last = Some(id);
+        (id, true)
+    }
+
+    /// Signature pre-filter: `false` means line `a` certainly does not
+    /// dominate line `b`; `true` means the backtracking matcher must decide.
+    #[inline]
+    pub(crate) fn may_dominate(&self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (&self.sigs[a as usize], &self.sigs[b as usize]);
+        sb.union.is_subset(&sa.union)
+            && sb.sizes.iter().zip(&sa.sizes).all(|(sb_k, sa_k)| sb_k <= sa_k)
+    }
+
+    /// Iterates interned lines in id (first-intern) order.
+    pub(crate) fn lines(&self) -> impl Iterator<Item = &[LabelSet]> + '_ {
+        (0..self.len() as u32).map(|id| self.get(id))
+    }
+}
+
+/// Content hash of a line (xor-multiply mix over the raw bitset words).
+///
+/// Alphabets rarely use more than the first 64 labels, so the upper three
+/// words of most sets are zero: those are folded in only when set, with a
+/// position-dependent rotation so sparsity stays unambiguous.
+fn hash_line(line: &[LabelSet]) -> u64 {
+    #[inline]
+    fn mix(h: u64, w: u64) -> u64 {
+        let h = (h ^ w).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^ (h >> 33)
+    }
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for s in line {
+        let words = s.words();
+        h = mix(h, words[0]);
+        for (k, &w) in words.iter().enumerate().skip(1) {
+            if w != 0 {
+                h = mix(h, w.rotate_left(21 * k as u32));
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn set(ixs: &[usize]) -> LabelSet {
+        ixs.iter().map(|&i| Label::from_index(i)).collect()
+    }
+
+    #[test]
+    fn intern_dedups_and_addresses_flat() {
+        let mut pool = LinePool::new(2);
+        let a = [set(&[0]), set(&[0, 1])];
+        let b = [set(&[0]), set(&[1])];
+        let (ia, fresh_a) = pool.intern(&a);
+        let (ib, fresh_b) = pool.intern(&b);
+        let (ia2, fresh_a2) = pool.intern(&a);
+        assert!(fresh_a && fresh_b && !fresh_a2);
+        assert_eq!(ia, ia2);
+        assert_ne!(ia, ib);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.get(ia), &a);
+        assert_eq!(pool.get(ib), &b);
+        assert_eq!(pool.lines().count(), 2);
+    }
+
+    #[test]
+    fn sig_prefilter_is_sound_and_useful() {
+        let mut pool = LinePool::new(2);
+        let (big, _) = pool.intern(&[set(&[0, 1]), set(&[0, 1, 2])]);
+        let (small, _) = pool.intern(&[set(&[0]), set(&[1, 2])]);
+        let (other, _) = pool.intern(&[set(&[3]), set(&[3, 4])]);
+        // big really dominates small → filter must not reject.
+        assert!(pool.may_dominate(big, small));
+        // other's union is disjoint → rejected without matching.
+        assert!(!pool.may_dominate(big, other));
+        // small's sizes (1,2) vs big's (2,3) pass, but reverse fails.
+        assert!(!pool.may_dominate(small, big));
+    }
+}

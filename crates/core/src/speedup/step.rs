@@ -101,13 +101,27 @@ fn assemble(base: &Problem, lines: Vec<Line>, side: Side, name_suffix: &str) -> 
         return Err(Error::AlphabetOverflow { requested: meanings.len() });
     }
 
-    let mut gen = NameGen::new();
-    let mut alphabet = Alphabet::new();
-    for m in &meanings {
-        let base_name = set_name(base.alphabet(), m);
-        let name = gen.fresh(&base_name);
-        alphabet.intern(name)?;
-    }
+    // Distinct meaning-sets render to distinct ⟨…⟩ names for every
+    // alphabet this engine generates; verify cheaply and skip the
+    // suffixing machinery (and the alphabet's per-name duplicate probes)
+    // on that common path.
+    let names: Vec<String> = meanings.iter().map(|m| set_name(base.alphabet(), m)).collect();
+    let unique = if names.len() <= 16 {
+        (1..names.len()).all(|i| !names[..i].contains(&names[i]))
+    } else {
+        let mut seen = std::collections::HashSet::with_capacity(names.len());
+        names.iter().all(|n| seen.insert(n.as_str()))
+    };
+    let alphabet = if unique {
+        Alphabet::from_unique_names_unchecked(names)
+    } else {
+        let mut gen = NameGen::new();
+        let mut alphabet = Alphabet::new();
+        for base_name in &names {
+            alphabet.intern(gen.fresh(base_name))?;
+        }
+        alphabet
+    };
 
     let index_of = |s: &LabelSet| -> crate::label::Label {
         let ix = meanings.binary_search(s).expect("line sets are in the meanings list");
@@ -135,7 +149,7 @@ fn assemble(base: &Problem, lines: Vec<Line>, side: Side, name_suffix: &str) -> 
     };
 
     let name = format!("{}{}", base.name(), name_suffix);
-    let problem = Problem::new(name, alphabet, node, edge)?;
+    let problem = Problem::new_unchecked(name, alphabet, node, edge);
     Ok(HalfStep { problem, meanings, side })
 }
 
@@ -183,7 +197,12 @@ pub fn half_step_node(p: &Problem) -> Result<HalfStep> {
 pub fn full_step(p: &Problem) -> Result<FullStep> {
     let half = half_step_edge(p)?;
     let full = half_step_node(&half.problem)?;
-    // Compress: drop outputs that occur on only one side.
+    // Compress: drop outputs that occur on only one side. When compression
+    // would be the identity (fixed-point problems, every step) the problem
+    // is returned as-is — no clone, no remap.
+    if full.problem.is_fully_usable() {
+        return Ok(FullStep { half, full });
+    }
     let (compressed, mapping) = full.problem.compress();
     let mut meanings = Vec::new();
     for (old_ix, m) in mapping.iter().enumerate() {

@@ -29,11 +29,46 @@
 //! both arguments, so the invariant "every good line is dominated by a kept
 //! line" survives; at a fixpoint the kept antichain is exactly the set of
 //! maximal good lines. Tests cross-check against a brute-force oracle.
+//!
+//! # Hot-core representation
+//!
+//! Three layers keep the closure fast (see the README's Performance
+//! section for measurements):
+//!
+//! * **Trie-backed universal checks.** "Every choice of this line is in
+//!   `C`" ([`line_good`], and the `can_extend` probes of the componentwise
+//!   closure) runs as a set-branching DFS over the constraint's cached
+//!   [`ConfigTrie`](crate::trie::ConfigTrie): branch on the multiplicity of
+//!   the smallest assignable label, advance the trie along the run of equal
+//!   labels, recurse. Choices sharing a sorted prefix share the walk, a
+//!   missing trie edge refutes a whole subtree of choices at once, and the
+//!   inner loop is bitmask tests — no allocation, no per-choice sort, no
+//!   `BTreeSet` probe.
+//! * **Interned lines.** The engine stores every distinct line once in a
+//!   flat arena with `u32` ids (`pool::LinePool`). Deduplication is a hash
+//!   probe plus slice compare, and each line carries a component-size /
+//!   component-union signature that rejects most domination queries before
+//!   the alignment matcher runs. The matcher works on candidate bitmasks,
+//!   greedy-first with a backtracking fallback. Merge emission prunes at
+//!   the source: when the aligned pair at the distinguished position is
+//!   ⊆-comparable, the result is dominated by one of the operands and is
+//!   never materialized.
+//! * **Round-parallel closure.** The work queue is processed in rounds:
+//!   all queued lines merge (against the antichain, each other, and
+//!   themselves) in parallel chunks under [`std::thread::scope`], and the
+//!   surviving candidates close componentwise in parallel; interning and
+//!   antichain updates happen single-threaded at the barriers. Workers emit
+//!   in item order and the barrier consumes chunk outputs in item order, so
+//!   ids, processing order, and output are **bit-identical for every
+//!   thread count** (property-tested); [`maximal_good_lines`] sizes the
+//!   pool from `available_parallelism`, overridable via the
+//!   `ROUNDELIM_THREADS` environment variable.
 
-use crate::config::Config;
 use crate::constraint::Constraint;
+use crate::label::Label;
 use crate::labelset::LabelSet;
-use std::collections::HashSet;
+use crate::speedup::pool::LinePool;
+use crate::trie::ConfigTrie;
 
 /// A multiset of label sets, canonically sorted. See module docs.
 pub type Line = Vec<LabelSet>;
@@ -44,68 +79,65 @@ pub fn canonical(mut line: Line) -> Line {
     line
 }
 
+/// Groups a line's components as `(set, multiplicity)` pairs into `out`.
+///
+/// Works on unsorted input (group order is irrelevant to the universal
+/// check), so callers need neither a clone nor a sort.
+fn group_components(line: &[LabelSet], skip: usize, out: &mut Vec<(LabelSet, usize)>) {
+    for (j, s) in line.iter().enumerate() {
+        if j == skip {
+            continue;
+        }
+        match out.iter_mut().find(|(g, _)| g == s) {
+            Some((_, n)) => *n += 1,
+            None => out.push((*s, 1)),
+        }
+    }
+}
+
 /// Whether every choice `x_i ∈ line[i]` is a configuration of `c`.
 ///
-/// Identical components are grouped so that choices are enumerated as
-/// combinations-with-repetition rather than the full product.
+/// Identical components are grouped and the grouped line is checked by a
+/// single set-branching DFS over `c`'s trie index — see
+/// [`ConfigTrie::all_choices_contained`]. The input need not be sorted and
+/// is not copied.
 pub fn line_good(line: &[LabelSet], c: &Constraint) -> bool {
     if line.len() != c.arity() || line.iter().any(LabelSet::is_empty) {
         return false;
     }
-    // Group identical sets: (set, count).
-    let sorted = canonical(line.to_vec());
-    let mut groups: Vec<(LabelSet, usize)> = Vec::new();
-    for s in sorted {
-        match groups.last_mut() {
-            Some((g, n)) if *g == s => *n += 1,
-            _ => groups.push((s, 1)),
-        }
-    }
-    let mut chosen: Vec<crate::label::Label> = Vec::with_capacity(c.arity());
-    all_choices_ok(&groups, 0, &mut chosen, c)
-}
-
-fn all_choices_ok(
-    groups: &[(LabelSet, usize)],
-    gi: usize,
-    chosen: &mut Vec<crate::label::Label>,
-    c: &Constraint,
-) -> bool {
-    if gi == groups.len() {
-        return c.contains(&Config::new(chosen.clone()));
-    }
-    let (set, count) = &groups[gi];
-    let elems: Vec<crate::label::Label> = set.iter().collect();
-    // Multisets of size `count` from `elems` (combinations with repetition).
-    fn rec(
-        elems: &[crate::label::Label],
-        start: usize,
-        left: usize,
-        groups: &[(LabelSet, usize)],
-        gi: usize,
-        chosen: &mut Vec<crate::label::Label>,
-        c: &Constraint,
-    ) -> bool {
-        if left == 0 {
-            return all_choices_ok(groups, gi + 1, chosen, c);
-        }
-        for i in start..elems.len() {
-            chosen.push(elems[i]);
-            let ok = rec(elems, i, left - 1, groups, gi, chosen, c);
-            chosen.pop();
-            if !ok {
-                return false;
-            }
-        }
-        true
-    }
-    rec(&elems, 0, *count, groups, gi, chosen, c)
+    let mut groups: Vec<(LabelSet, usize)> = Vec::with_capacity(line.len());
+    group_components(line, usize::MAX, &mut groups);
+    c.trie().all_choices_contained(&groups)
 }
 
 /// Whether line `a` dominates line `b`: some alignment σ has
 /// `b[i] ⊆ a[σ(i)]` for all `i` (σ a bijection of positions).
 pub fn dominates(a: &[LabelSet], b: &[LabelSet]) -> bool {
     debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n > 64 {
+        return dominates_general(a, b);
+    }
+    // cand[i]: bitmask of a-positions that can host b[i].
+    let mut cand = [0u64; 64];
+    for (i, bi) in b.iter().enumerate() {
+        let mut mask = 0u64;
+        for (j, aj) in a.iter().enumerate() {
+            if bi.is_subset(aj) {
+                mask |= 1 << j;
+            }
+        }
+        if mask == 0 {
+            return false;
+        }
+        cand[i] = mask;
+    }
+    // Greedy-first matching over the masks; backtracking only on a jam.
+    crate::speedup::existential::matches_masks(&cand[..n])
+}
+
+/// Fallback matcher for lines longer than 64 components (no bitmasks).
+fn dominates_general(a: &[LabelSet], b: &[LabelSet]) -> bool {
     let n = a.len();
     let mut used = vec![false; n];
     fn assign(b: &[LabelSet], a: &[LabelSet], used: &mut [bool], i: usize) -> bool {
@@ -127,14 +159,28 @@ pub fn dominates(a: &[LabelSet], b: &[LabelSet]) -> bool {
     assign(b, a, &mut used, 0)
 }
 
+/// Domination between interned lines, signature pre-filter first.
+fn dominates_ids(pool: &LinePool, a: u32, b: u32) -> bool {
+    a != b && pool.may_dominate(a, b) && dominates(pool.get(a), pool.get(b))
+}
+
 /// All canonical merges of two lines (over all alignments and distinguished
-/// positions), dropping results with empty components.
+/// positions), dropping results with empty components and results equal to
+/// `a` itself (the caller always knows `a`). Each surviving merge is
+/// canonicalized in the reusable scratch buffers and handed to `emit`
+/// (typically an interning sink) — no per-candidate allocation.
 ///
 /// Alignments range over the *distinct* permutations of `b`'s multiset of
 /// sets (lines typically repeat few distinct sets, so this is far smaller
 /// than n! — the difference between Δ = 7 finishing in milliseconds and in
-/// minutes).
-fn merges(a: &[LabelSet], b: &[LabelSet], out: &mut HashSet<Line>) {
+/// minutes). Per alignment, the componentwise intersections are computed
+/// once and shared by every distinguished position.
+fn merges<F: FnMut(&[LabelSet])>(
+    a: &[LabelSet],
+    b: &[LabelSet],
+    scratch: &mut MergeScratch,
+    emit: &mut F,
+) {
     let n = a.len();
     if n == 0 {
         return;
@@ -152,161 +198,460 @@ fn merges(a: &[LabelSet], b: &[LabelSet], out: &mut HashSet<Line>) {
         }
     }
     let mut assignment: Vec<usize> = Vec::with_capacity(n);
-    unique_perms(a, &distinct, &mut remaining, &mut assignment, out);
+    unique_perms(a, &distinct, &mut remaining, &mut assignment, scratch, emit);
 
-    fn unique_perms(
+    fn unique_perms<F: FnMut(&[LabelSet])>(
         a: &[LabelSet],
         distinct: &[LabelSet],
         remaining: &mut Vec<usize>,
         assignment: &mut Vec<usize>,
-        out: &mut HashSet<Line>,
+        scratch: &mut MergeScratch,
+        emit: &mut F,
     ) {
         let n = a.len();
         if assignment.len() == n {
-            emit(a, distinct, assignment, out);
+            emit_merges(a, distinct, assignment, scratch, emit);
             return;
         }
         for d in 0..distinct.len() {
             if remaining[d] > 0 {
                 remaining[d] -= 1;
                 assignment.push(d);
-                unique_perms(a, distinct, remaining, assignment, out);
+                unique_perms(a, distinct, remaining, assignment, scratch, emit);
                 assignment.pop();
                 remaining[d] += 1;
             }
         }
     }
 
-    fn emit(a: &[LabelSet], distinct: &[LabelSet], assignment: &[usize], out: &mut HashSet<Line>) {
+    fn emit_merges<F: FnMut(&[LabelSet])>(
+        a: &[LabelSet],
+        distinct: &[LabelSet],
+        assignment: &[usize],
+        scratch: &mut MergeScratch,
+        emit: &mut F,
+    ) {
         let n = a.len();
-        // Precompute intersections; bail early on an empty one (a line
-        // with an empty non-distinguished component is dead for every j
-        // except the empty position itself).
-        for j in 0..n {
-            let mut line: Line = Vec::with_capacity(n);
-            let mut ok = true;
-            for i in 0..n {
-                let bi = &distinct[assignment[i]];
-                let s = if i == j { a[i].union(bi) } else { a[i].intersection(bi) };
-                if s.is_empty() {
-                    ok = false;
-                    break;
-                }
-                line.push(s);
+        // Intersections are shared by every distinguished position:
+        // compute them once per alignment. Two or more empty intersections
+        // kill the whole alignment (a line with an empty non-distinguished
+        // component is dead for every j except the empty position itself);
+        // exactly one empty at `p` leaves only j = p viable.
+        let inter = &mut scratch.inter;
+        inter.clear();
+        let mut only_j = usize::MAX; // MAX: all viable; n: none viable
+        for i in 0..n {
+            let s = a[i].intersection(&distinct[assignment[i]]);
+            if s.is_empty() {
+                only_j = if only_j == usize::MAX { i } else { n };
             }
-            if ok {
-                out.insert(canonical(line));
+            inter.push(s);
+        }
+        if only_j == n {
+            return;
+        }
+        let j_range = if only_j == usize::MAX { 0..n } else { only_j..only_j + 1 };
+        for j in j_range {
+            let bj = &distinct[assignment[j]];
+            // Every non-distinguished component is an intersection, so the
+            // result is dominated by `a` (identity alignment) whenever
+            // `bσ(j) ⊆ a[j]`, and by `b` (via σ⁻¹) whenever
+            // `a[j] ⊆ bσ(j)`. Both operands are in the antichain-or-batch
+            // by the time candidates are filtered, so comparable aligned
+            // pairs can never contribute a new maximal line — only
+            // incomparable ones are worth emitting. (This subsumes the
+            // result-equals-`a` and equal-pair cases.)
+            if bj.is_subset(&a[j]) || a[j].is_subset(bj) {
+                continue;
             }
+            let line = &mut scratch.line;
+            line.clear();
+            line.extend_from_slice(inter);
+            line[j] = a[j].union(bj);
+            line.sort_unstable();
+            emit(line);
         }
     }
 }
 
-/// Extends a label to position `i` if every choice of the other
-/// components combined with it stays in `c`.
-fn can_extend(line: &[LabelSet], i: usize, l: crate::label::Label, c: &Constraint) -> bool {
-    // Group the other components, then enumerate their choices.
-    let mut groups: Vec<(LabelSet, usize)> = Vec::new();
-    for (j, s) in line.iter().enumerate() {
-        if j == i {
+/// Reusable buffers for [`merges`]: per-alignment intersections and the
+/// candidate line under construction. One per worker.
+#[derive(Debug, Clone, Default)]
+struct MergeScratch {
+    inter: Vec<LabelSet>,
+    line: Vec<LabelSet>,
+}
+
+/// Extends a label to one position if every choice of the other (already
+/// grouped) components combined with it stays in the constraint: one trie
+/// DFS. The closure probes every missing label of a position against the
+/// *same* sibling groups, so the grouping is hoisted out of the label
+/// loop. The forced singleton rides as its own trailing group — two groups
+/// with equal sets enumerate the same choice multisets as one merged
+/// group, so coverage is unchanged.
+fn can_extend_grouped(l: Label, trie: &ConfigTrie, scratch: &mut CloseScratch) -> bool {
+    scratch.groups.push((LabelSet::singleton(l), 1));
+    let CloseScratch { groups, dfs } = scratch;
+    let ok = trie.all_choices_contained_scratch(groups, dfs);
+    scratch.groups.pop();
+    ok
+}
+
+/// Reusable buffers for [`close_line`] probes: the grouped components and
+/// the trie DFS working space. One per worker; no per-probe allocation.
+#[derive(Debug, Clone, Default)]
+struct CloseScratch {
+    groups: Vec<(LabelSet, usize)>,
+    dfs: crate::trie::DfsScratch,
+}
+
+/// Componentwise closure, in place: maximize each component given the
+/// others, then re-canonicalize. The result dominates the input and is
+/// still good; maximal good lines are exactly the closed good lines that
+/// no other closed line strictly dominates.
+///
+/// One pass over `(position, missing label)` pairs reaches the fixpoint:
+/// successful extensions only *grow* components, which makes every later
+/// `can_extend` probe strictly harder (more choices must stay inside the
+/// constraint), so a pair that fails once can never succeed later and a
+/// second pass would find nothing new.
+fn close_line(line: &mut Line, trie: &ConfigTrie, universe: &LabelSet, scratch: &mut CloseScratch) {
+    for i in 0..line.len() {
+        let missing = universe.difference(&line[i]);
+        if missing.is_empty() {
             continue;
         }
-        match groups.iter_mut().find(|(g, _)| g == s) {
-            Some((_, n)) => *n += 1,
-            None => groups.push((*s, 1)),
-        }
-    }
-    let mut chosen = vec![l];
-    all_choices_ok(&groups, 0, &mut chosen, c)
-}
-
-/// Componentwise closure: repeatedly maximize each component given the
-/// others, until fixpoint. The result dominates the input and is still
-/// good; maximal good lines are exactly the closed good lines that no
-/// other closed line strictly dominates.
-fn close_line(mut line: Line, c: &Constraint, universe: &LabelSet) -> Line {
-    loop {
-        let mut changed = false;
-        for i in 0..line.len() {
-            let missing = universe.difference(&line[i]);
-            for l in missing.iter() {
-                if can_extend(&line, i, l, c) {
-                    line[i].insert(l);
-                    changed = true;
-                }
+        // The sibling groups are invariant while probing position `i` —
+        // only `line[i]` changes, and it is excluded from the grouping.
+        scratch.groups.clear();
+        group_components(line, i, &mut scratch.groups);
+        for l in missing.iter() {
+            if can_extend_grouped(l, trie, scratch) {
+                line[i].insert(l);
             }
         }
-        if !changed {
-            return canonical(line);
+    }
+    line.sort_unstable();
+}
+
+/// Number of worker threads [`maximal_good_lines`] uses: the
+/// `ROUNDELIM_THREADS` environment variable if set, else the machine's
+/// available parallelism. Resolved once per process (the environment probe
+/// and `available_parallelism` syscall cost more than a small closure).
+fn default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("ROUNDELIM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Below this many work items a stage runs inline: spawning costs more
+/// than the work it would offload.
+const PAR_MIN_ITEMS: usize = 16;
+
+/// Maps `f` over at most `threads` contiguous chunks of `items` (scoped
+/// threads), returning chunk results in chunk order. Chunk boundaries are
+/// balanced by `weight(index)` — stage 1's per-item cost falls roughly
+/// linearly with the batch index (item `i` merges only against later
+/// items), so equal-size chunks would make the first worker the straggler
+/// every round. Boundaries are a pure function of `(items.len(), threads,
+/// weight)`; callers that consume results in order and emit per item in
+/// item order stay deterministic for every thread count. `min_items` is
+/// the inline-run threshold ([`PAR_MIN_ITEMS`] in production; tests lower
+/// it to force the chunked path onto small inputs).
+fn par_chunks<T, R, F, W>(items: &[T], threads: usize, min_items: usize, weight: W, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+    W: Fn(usize) -> u64,
+{
+    if threads <= 1 || items.len() < min_items.max(2) {
+        return vec![f(items)];
+    }
+    // Greedy contiguous partition into ≤ `threads` weight-balanced chunks.
+    let total: u64 = (0..items.len()).map(&weight).sum();
+    let target = total.div_ceil(threads as u64).max(1);
+    let mut bounds: Vec<usize> = Vec::with_capacity(threads + 1);
+    bounds.push(0);
+    let mut acc = 0u64;
+    for i in 0..items.len() {
+        acc += weight(i);
+        if acc >= target && bounds.len() < threads && i + 1 < items.len() {
+            bounds.push(i + 1);
+            acc = 0;
         }
     }
+    bounds.push(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .windows(2)
+            .skip(1)
+            .map(|w| {
+                let part = &items[w[0]..w[1]];
+                s.spawn(|| f(part))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(f(&items[..bounds[1]]));
+        for h in handles {
+            out.push(h.join().expect("merge-closure worker panicked"));
+        }
+        out
+    })
 }
 
 /// Enumerates all ⊆-maximal good lines of `c` (the simplified universal
-/// transform of Theorem 2). Lines never contain the empty set: dropping the
-/// degenerate lines with an empty component is the paper's compression
-/// convention (§4.2) — they cannot occur in a correct solution because the
-/// existential sibling constraint cannot pick an element from ∅.
+/// transform of Theorem 2), using all available cores. Lines never contain
+/// the empty set: dropping the degenerate lines with an empty component is
+/// the paper's compression convention (§4.2) — they cannot occur in a
+/// correct solution because the existential sibling constraint cannot pick
+/// an element from ∅.
 pub fn maximal_good_lines(c: &Constraint) -> Vec<Line> {
+    maximal_good_lines_threaded(c, default_threads())
+}
+
+/// [`maximal_good_lines`] with an explicit worker-thread count.
+///
+/// The output — and every intermediate interning decision — is identical
+/// for every `threads` value; `threads` only sets how many cores the merge
+/// and closure stages may use. `threads = 0` is treated as 1.
+pub fn maximal_good_lines_threaded(c: &Constraint, threads: usize) -> Vec<Line> {
+    maximal_good_lines_impl(c, threads, PAR_MIN_ITEMS)
+}
+
+/// Engine body with an explicit parallel-stage threshold, so tests can
+/// force the chunked code paths onto small constraints (the production
+/// threshold keeps tiny workloads inline, which would otherwise leave the
+/// parallel branches unexercised by any fast-running test).
+fn maximal_good_lines_impl(c: &Constraint, threads: usize, par_min: usize) -> Vec<Line> {
     if c.arity() == 2 {
         return maximal_good_pairs(c);
     }
-    // Antichain of known good lines, and a work queue of unprocessed ones.
-    // Every enqueued line is closed (componentwise maximal), which keeps
-    // the state space near the antichain of maximal lines instead of the
-    // exponentially larger space of all good lines.
-    let universe = c.used_labels();
-    let mut antichain: Vec<Line> = Vec::new();
-    let mut seen: HashSet<Line> = HashSet::new();
-    let mut queue: Vec<Line> = Vec::new();
+    let threads = threads.max(1);
+    let trie = c.trie();
+    let universe = *trie.universe();
+
+    // Interned lines; the pool doubles as the "ever emitted" set, while
+    // `enqueued` (indexed by id) marks the subset that entered the work
+    // queue — a merge candidate that is already componentwise-closed is
+    // interned once but must still be processed. Every enqueued line is
+    // closed (componentwise maximal), which keeps the state space near the
+    // antichain of maximal lines instead of the exponentially larger space
+    // of all good lines.
+    let mut pool = LinePool::new(c.arity());
+    let mut enqueued: Vec<bool> = Vec::new();
+    let mut antichain: Vec<u32> = Vec::new();
+    let mut queue: Vec<u32> = Vec::new();
+    let mut close_scratch = CloseScratch::default();
+    let mut merge_scratch = MergeScratch::default();
+    let mut candidates: Vec<u32> = Vec::new();
+    let mut line_buf: Line = Vec::new();
+    let mut partner_buf: Line = Vec::new();
 
     for cfg in c.iter() {
-        let line: Line = canonical(cfg.iter().map(LabelSet::singleton).collect());
-        let line = close_line(line, c, &universe);
-        if seen.insert(line.clone()) {
-            queue.push(line);
-        }
-    }
-
-    while let Some(line) = queue.pop() {
-        // Skip if already dominated by the antichain.
-        if antichain.iter().any(|m| m != &line && dominates(m, &line)) {
+        // A seed dominated by an already-closed seed line contributes
+        // nothing: merging is monotone in both arguments, so every line
+        // reachable through the dominated seed is dominated by a line
+        // reachable through its dominator (the same argument that lets the
+        // closure skip dominated queue entries). Skipping the closure here
+        // saves the lion's share of the seeding cost on constraints whose
+        // configurations collapse onto few maximal lines. For a line of
+        // singletons, domination is exactly the existential matching
+        // question, whose matcher shares one candidate mask per run of
+        // equal labels.
+        if queue
+            .iter()
+            .any(|&q| crate::speedup::existential::config_matches(cfg.labels(), pool.get(q)))
+        {
             continue;
         }
-        // Merge against every line currently in the antichain, and itself.
-        let mut new_lines: HashSet<Line> = HashSet::new();
-        merges(&line, &line, &mut new_lines);
-        for m in &antichain {
-            merges(&line, m, &mut new_lines);
+        let mut line: Line = cfg.iter().map(LabelSet::singleton).collect();
+        close_line(&mut line, trie, &universe, &mut close_scratch);
+        let (id, _) = pool.intern(&line);
+        enqueued.resize(pool.len(), false);
+        if !enqueued[id as usize] {
+            enqueued[id as usize] = true;
+            queue.push(id);
         }
-        // Install `line` into the antichain, evicting dominated entries.
-        antichain.retain(|m| !dominates(&line, m));
-        antichain.push(line);
-        for nl in new_lines {
-            if seen.contains(&nl) || antichain.iter().any(|m| dominates(m, &nl)) {
+    }
+
+    // Round-based closure: drain the whole queue per round. Queue order is
+    // a pure function of the constraint (workers emit in item order and
+    // barriers consume chunk outputs in item order), so processing order —
+    // and with it every interned id — is identical for every thread count.
+    while !queue.is_empty() {
+        let mut batch = std::mem::take(&mut queue);
+        // Skip lines the antichain already dominates.
+        batch.retain(|&id| !antichain.iter().any(|&m| dominates_ids(&pool, m, id)));
+
+        // Stage 1: merge every batch line with itself, the antichain, and
+        // every later batch line.
+        candidates.clear();
+        if threads > 1 && batch.len() >= par_min {
+            // Workers intern into chunk-local pools (first occurrence in
+            // item order survives), so concatenating chunk outputs
+            // reproduces the sequential emission stream. Item `bi` merges
+            // against the antichain plus the `len - bi - 1` later batch
+            // items, which is the chunk-balancing weight.
+            let batch_ref = &batch;
+            let pool_ref = &pool;
+            let antichain_ref = &antichain;
+            let pair_weight = |bi: usize| (antichain.len() + batch.len() - bi) as u64;
+            let chunk_pools: Vec<LinePool> = par_chunks(
+                &index_range(batch.len()),
+                threads,
+                par_min,
+                pair_weight,
+                |indices: &[usize]| {
+                    let mut local = LinePool::new(c.arity());
+                    let mut scratch = MergeScratch::default();
+                    for &bi in indices {
+                        let line = pool_ref.get(batch_ref[bi]);
+                        let mut sink = |cand: &[LabelSet]| {
+                            local.intern(cand);
+                        };
+                        merges(line, line, &mut scratch, &mut sink);
+                        for &m in antichain_ref {
+                            merges(line, pool_ref.get(m), &mut scratch, &mut sink);
+                        }
+                        for &bj in &batch_ref[bi + 1..] {
+                            merges(line, pool_ref.get(bj), &mut scratch, &mut sink);
+                        }
+                    }
+                    local
+                },
+            );
+            for local in &chunk_pools {
+                for cand in local.lines() {
+                    let (id, fresh) = pool.intern(cand);
+                    if fresh {
+                        candidates.push(id);
+                    }
+                }
+            }
+        } else {
+            // Single-worker fast path: intern straight into the global
+            // pool — no chunk-local pools, no second interning pass.
+            // Operand lines are copied out of the pool so the interning
+            // sink may borrow it mutably; the copies are trivial next to
+            // the alignment enumeration they feed.
+            fn sink(pool: &mut LinePool, candidates: &mut Vec<u32>, cand: &[LabelSet]) {
+                let (id, fresh) = pool.intern(cand);
+                if fresh {
+                    candidates.push(id);
+                }
+            }
+            let scratch = &mut merge_scratch;
+            for bi in 0..batch.len() {
+                line_buf.clear();
+                line_buf.extend_from_slice(pool.get(batch[bi]));
+                merges(&line_buf, &line_buf, scratch, &mut |cand| {
+                    sink(&mut pool, &mut candidates, cand)
+                });
+                for &m in &antichain {
+                    partner_buf.clear();
+                    partner_buf.extend_from_slice(pool.get(m));
+                    merges(&line_buf, &partner_buf, scratch, &mut |cand| {
+                        sink(&mut pool, &mut candidates, cand)
+                    });
+                }
+                for &bj in batch.iter().skip(bi + 1) {
+                    partner_buf.clear();
+                    partner_buf.extend_from_slice(pool.get(bj));
+                    merges(&line_buf, &partner_buf, scratch, &mut |cand| {
+                        sink(&mut pool, &mut candidates, cand)
+                    });
+                }
+            }
+        }
+
+        // Install the batch, evicting dominated antichain entries.
+        for &id in &batch {
+            if antichain.iter().any(|&m| dominates_ids(&pool, m, id)) {
                 continue;
             }
-            let closed = close_line(nl, c, &universe);
-            if !seen.contains(&closed) && !antichain.iter().any(|m| dominates(m, &closed)) {
-                seen.insert(closed.clone());
-                queue.push(closed);
+            antichain.retain(|&m| !dominates_ids(&pool, id, m));
+            antichain.push(id);
+        }
+        // Stage 2: close the surviving candidates and enqueue the fresh
+        // closures.
+        if threads > 1 && candidates.len() >= par_min {
+            let pool_ref = &pool;
+            let antichain_ref = &antichain;
+            let closed_chunks: Vec<Vec<Option<Line>>> = par_chunks(
+                &candidates,
+                threads,
+                par_min,
+                |_| 1,
+                |ids: &[u32]| {
+                    let mut close_scratch = CloseScratch::default();
+                    ids.iter()
+                        .map(|&id| {
+                            if antichain_ref.iter().any(|&m| dominates_ids(pool_ref, m, id)) {
+                                return None;
+                            }
+                            let mut line = pool_ref.get(id).to_vec();
+                            close_line(&mut line, trie, &universe, &mut close_scratch);
+                            Some(line)
+                        })
+                        .collect()
+                },
+            );
+            for closed in closed_chunks.into_iter().flatten().flatten() {
+                let (cid, _) = pool.intern(&closed);
+                enqueued.resize(pool.len(), false);
+                if !enqueued[cid as usize]
+                    && !antichain.iter().any(|&m| dominates_ids(&pool, m, cid))
+                {
+                    enqueued[cid as usize] = true;
+                    queue.push(cid);
+                }
+            }
+        } else {
+            // Single-worker fast path: close and enqueue in one sweep.
+            // Closing depends only on the line and the trie, so the
+            // interleaving matches the barrier version candidate for
+            // candidate.
+            for &id in &candidates {
+                if antichain.iter().any(|&m| dominates_ids(&pool, m, id)) {
+                    continue;
+                }
+                line_buf.clear();
+                line_buf.extend_from_slice(pool.get(id));
+                close_line(&mut line_buf, trie, &universe, &mut close_scratch);
+                let (cid, _) = pool.intern(&line_buf);
+                enqueued.resize(pool.len(), false);
+                if !enqueued[cid as usize]
+                    && !antichain.iter().any(|&m| dominates_ids(&pool, m, cid))
+                {
+                    enqueued[cid as usize] = true;
+                    queue.push(cid);
+                }
             }
         }
     }
 
-    // Final pass: keep only maximal lines.
-    let mut result: Vec<Line> = Vec::new();
-    for (i, l) in antichain.iter().enumerate() {
-        let dominated = antichain
-            .iter()
-            .enumerate()
-            .any(|(j, m)| j != i && dominates(m, l) && !dominates(l, m));
-        let duplicate = result.contains(l);
-        if !dominated && !duplicate {
-            result.push(l.clone());
-        }
-    }
+    // Final pass: keep only maximal lines. Ids are unique and lines
+    // canonical, so mutual domination between distinct entries is
+    // impossible and no duplicate check is needed; the signature filter
+    // rejects most candidate pairs before the alignment matcher runs.
+    let mut result: Vec<Line> = antichain
+        .iter()
+        .filter(|&&id| !antichain.iter().any(|&m| dominates_ids(&pool, m, id)))
+        .map(|&id| pool.get(id).to_vec())
+        .collect();
     result.sort();
     result
+}
+
+/// `0..n` as a materialized slice for [`par_chunks`].
+fn index_range(n: usize) -> Vec<usize> {
+    (0..n).collect()
 }
 
 /// Arity-2 fast path: maximal good pairs are exactly the *formal
@@ -315,33 +660,38 @@ pub fn maximal_good_lines(c: &Constraint) -> Vec<Line> {
 /// extent is an intersection of single-label closures, so the ∩-closure
 /// of `{cl({s})}` enumerates them all.
 fn maximal_good_pairs(c: &Constraint) -> Vec<Line> {
+    use std::collections::BTreeSet;
     let universe = c.used_labels();
+    let trie = c.trie();
     let cl = |s: &LabelSet| -> LabelSet {
         let mut out = LabelSet::empty();
         for x in universe.iter() {
-            if s.iter().all(|y| c.contains_labels(&[x, y])) {
+            if s.iter().all(|y| {
+                let pair = if x <= y { [x, y] } else { [y, x] };
+                trie.contains_sorted(&pair)
+            }) {
                 out.insert(x);
             }
         }
         out
     };
-    // ∩-closure of the single-label closures (plus the full universe).
-    let mut extents: Vec<LabelSet> = vec![universe];
+    // ∩-closure of the single-label closures (plus the full universe),
+    // deduplicated in an ordered set instead of O(n) vector scans.
+    let mut extents: BTreeSet<LabelSet> = BTreeSet::new();
+    extents.insert(universe);
     for l in universe.iter() {
         let base = cl(&LabelSet::singleton(l));
         let mut new_items: Vec<LabelSet> = Vec::new();
         for e in &extents {
             let meet = e.intersection(&base);
-            if !extents.contains(&meet) && !new_items.contains(&meet) {
+            if !extents.contains(&meet) {
                 new_items.push(meet);
             }
         }
-        if !extents.contains(&base) && !new_items.contains(&base) {
-            new_items.push(base);
-        }
+        new_items.push(base);
         extents.extend(new_items);
     }
-    let mut out: Vec<Line> = Vec::new();
+    let mut out: BTreeSet<Line> = BTreeSet::new();
     for e in extents {
         if e.is_empty() {
             continue;
@@ -350,13 +700,9 @@ fn maximal_good_pairs(c: &Constraint) -> Vec<Line> {
         if partner.is_empty() || cl(&partner) != e {
             continue; // not a concept (or degenerate)
         }
-        let line = canonical(vec![e, partner]);
-        if !out.contains(&line) {
-            out.push(line);
-        }
+        out.insert(canonical(vec![e, partner]));
     }
-    out.sort();
-    out
+    out.into_iter().collect()
 }
 
 /// Brute-force oracle: all good lines over subsets of `universe`, maximal
@@ -435,7 +781,7 @@ pub fn all_good_lines_bruteforce(c: &Constraint, universe: &LabelSet) -> Vec<Lin
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::label::Label;
+    use crate::config::Config;
 
     fn l(i: usize) -> Label {
         Label::from_index(i)
@@ -458,6 +804,7 @@ mod tests {
     fn line_good_basics() {
         let c = sc_edge();
         assert!(line_good(&[set(&[0]), set(&[0, 1])], &c));
+        assert!(line_good(&[set(&[0, 1]), set(&[0])], &c)); // unsorted input
         assert!(!line_good(&[set(&[0, 1]), set(&[0, 1])], &c)); // {1,1} not allowed
         assert!(!line_good(&[set(&[1]), set(&[1])], &c));
         assert!(!line_good(&[LabelSet::empty(), set(&[0])], &c)); // empty component
@@ -521,12 +868,91 @@ mod tests {
     }
 
     #[test]
+    fn forced_parallel_paths_match_sequential() {
+        use rand::{Rng, SeedableRng};
+        // Production thresholds keep small batches inline, so this test
+        // drops `par_min` to 1: every round takes the chunk-pool merge
+        // path and the chunked close path, with real scoped threads
+        // (par_chunks spawns from 2 items once the threshold allows).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+        for trial in 0..10 {
+            let n = rng.gen_range(3usize..=5);
+            let arity = rng.gen_range(3usize..=4);
+            let mut c = Constraint::new(arity).unwrap();
+            for m in crate::config::all_multisets(n, arity) {
+                if rng.gen_bool(0.5) {
+                    c.insert(m).unwrap();
+                }
+            }
+            if c.is_empty() {
+                continue;
+            }
+            let sequential = maximal_good_lines_impl(&c, 1, PAR_MIN_ITEMS);
+            for threads in [2usize, 4] {
+                let forced = maximal_good_lines_impl(&c, threads, 1);
+                assert_eq!(forced, sequential, "trial {trial} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_output_is_thread_count_invariant() {
+        // Arity-3 constraint rich enough to fill several rounds.
+        let c = Constraint::from_configs(
+            3,
+            [
+                cfg(&[0, 0, 1]),
+                cfg(&[0, 1, 1]),
+                cfg(&[1, 1, 1]),
+                cfg(&[0, 1, 2]),
+                cfg(&[1, 2, 2]),
+                cfg(&[0, 0, 2]),
+            ],
+        )
+        .unwrap();
+        let one = maximal_good_lines_threaded(&c, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(maximal_good_lines_threaded(&c, threads), one, "threads={threads}");
+        }
+        assert_eq!(maximal_good_lines_threaded(&c, 0), one, "threads=0 clamps to 1");
+    }
+
+    #[test]
     fn dominates_respects_alignment() {
         let a = vec![set(&[0, 1]), set(&[2])];
         let b = vec![set(&[2]), set(&[0])];
         assert!(dominates(&a, &b)); // align ({2}→{2}, {0}→{0,1})
         assert!(!dominates(&b, &a));
         assert!(dominates(&a, &a));
+    }
+
+    #[test]
+    fn dominates_bitmask_agrees_with_general() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let n = rng.gen_range(1usize..=5);
+            let labels = rng.gen_range(2usize..=4);
+            let rand_line = |rng: &mut rand::rngs::StdRng| -> Line {
+                (0..n)
+                    .map(|_| {
+                        let mut s = LabelSet::empty();
+                        for i in 0..labels {
+                            if rng.gen_bool(0.5) {
+                                s.insert(l(i));
+                            }
+                        }
+                        if s.is_empty() {
+                            s.insert(l(0));
+                        }
+                        s
+                    })
+                    .collect()
+            };
+            let a = rand_line(&mut rng);
+            let b = rand_line(&mut rng);
+            assert_eq!(dominates(&a, &b), dominates_general(&a, &b), "a={a:?} b={b:?}");
+        }
     }
 
     #[test]

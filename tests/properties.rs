@@ -16,6 +16,7 @@ use roundelim::core::labelset::LabelSet;
 use roundelim::core::problem::Problem;
 use roundelim::core::speedup::universal::{
     dominates, line_good, maximal_good_lines, maximal_good_lines_bruteforce,
+    maximal_good_lines_threaded,
 };
 use roundelim::core::speedup::{full_step, half_step_edge};
 
@@ -55,6 +56,30 @@ fn arb_problem() -> impl Strategy<Value = Problem> {
     })
 }
 
+/// A random constraint over up to 6 labels and arity up to 4 (the
+/// trie-oracle cross-check domain from the hot-core rebuild).
+fn arb_constraint() -> impl Strategy<Value = (usize, Constraint)> {
+    (2usize..=6, 2usize..=4).prop_flat_map(|(n_labels, arity)| {
+        let space = all_multisets(n_labels, arity);
+        let sel = proptest::collection::vec(any::<bool>(), space.len());
+        (Just(n_labels), Just(arity), sel).prop_filter_map(
+            "nonempty constraint",
+            |(n_labels, arity, keep)| {
+                let cfgs: Vec<Config> = all_multisets(n_labels, arity)
+                    .into_iter()
+                    .zip(&keep)
+                    .filter(|(_, &k)| k)
+                    .map(|(c, _)| c)
+                    .collect();
+                if cfgs.is_empty() {
+                    return None;
+                }
+                Some((n_labels, Constraint::from_configs(arity, cfgs).ok()?))
+            },
+        )
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -67,6 +92,76 @@ proptest! {
             let fast = maximal_good_lines(c);
             let slow = maximal_good_lines_bruteforce(c, &universe);
             prop_assert_eq!(fast, slow);
+        }
+    }
+
+    /// The trie-backed membership test agrees with the `BTreeSet` oracle
+    /// on every multiset over a slightly larger label space (including
+    /// out-of-support labels and wrong arities).
+    #[test]
+    fn trie_contains_matches_btreeset((n_labels, c) in arb_constraint()) {
+        for probe in all_multisets(n_labels + 1, c.arity()) {
+            prop_assert_eq!(c.contains_sorted(probe.labels()), c.contains(&probe));
+        }
+        let wrong_arity = all_multisets(n_labels, c.arity() + 1);
+        prop_assert!(!c.contains_sorted(wrong_arity[0].labels()));
+    }
+
+    /// The trie-backed `line_good` agrees with the brute-force product
+    /// oracle (every choice probed individually against the `BTreeSet`)
+    /// on random lines, including lines with out-of-support labels.
+    #[test]
+    fn trie_line_good_matches_product_oracle(
+        (n_labels, c) in arb_constraint(),
+        seed in 0u64..1 << 48,
+    ) {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..8 {
+            // Random line over n_labels + 1 labels (one beyond the support).
+            let line: Vec<LabelSet> = (0..c.arity())
+                .map(|_| {
+                    let mut s = LabelSet::empty();
+                    for i in 0..=n_labels {
+                        if next() % 2 == 0 {
+                            s.insert(Label::from_index(i));
+                        }
+                    }
+                    if s.is_empty() {
+                        s.insert(Label::from_index(next() % n_labels));
+                    }
+                    s
+                })
+                .collect();
+            // Oracle: expand the full choice product.
+            let mut choices: Vec<Vec<Label>> = vec![Vec::new()];
+            for s in &line {
+                let mut grown = Vec::new();
+                for partial in &choices {
+                    for x in s.iter() {
+                        let mut p = partial.clone();
+                        p.push(x);
+                        grown.push(p);
+                    }
+                }
+                choices = grown;
+            }
+            let oracle = choices.iter().all(|ch| c.contains(&Config::new(ch.clone())));
+            prop_assert_eq!(line_good(&line, &c), oracle);
+        }
+    }
+
+    /// `maximal_good_lines` output is identical — ordering included — for
+    /// 1 and N worker threads (the round-parallel closure is deterministic
+    /// by construction, not merely up to reordering).
+    #[test]
+    fn maximal_lines_thread_count_invariant((_n, c) in arb_constraint()) {
+        let one = maximal_good_lines_threaded(&c, 1);
+        for threads in [2usize, 4, 8] {
+            prop_assert_eq!(&maximal_good_lines_threaded(&c, threads), &one);
         }
     }
 
