@@ -1,0 +1,265 @@
+//! Canonical-form memo cache: the node store of the search graph.
+//!
+//! Every problem the search touches is interned here, deduplicated up to
+//! isomorphism so isomorphic problems share one node. Small problems are
+//! keyed by the exact [`roundelim_core::iso::canonical_key`]; for large
+//! alphabets (where the canonical permutation enumeration gets expensive —
+//! the speedup transform produces highly symmetric 15+-label problems) the
+//! key drops to the cheap [`roundelim_core::iso::signature_profile`]
+//! invariant and collisions inside a bucket are resolved with
+//! [`are_isomorphic`]. Problems with different label counts are never
+//! isomorphic, so the two key kinds never need to agree with each other.
+//!
+//! Per node the cache memoizes the two expensive per-problem queries the
+//! search repeats: the [`full_step`] successor (by node id, so a whole
+//! isomorphism class pays for one speedup computation) and 0-round
+//! solvability per model.
+
+use roundelim_core::error::Result;
+use roundelim_core::iso::are_isomorphic;
+use roundelim_core::problem::Problem;
+use roundelim_core::sequence::ZeroRoundModel;
+use roundelim_core::speedup::full_step;
+use roundelim_core::zero_round::{zero_round_oriented, zero_round_pn};
+use std::collections::HashMap;
+
+/// The cache key: core's hybrid isomorphism-dedup key (exact canonical
+/// form for small alphabets, the cheap signature-profile invariant above).
+pub use roundelim_core::iso::DedupKey as CacheKey;
+
+/// Computes the cache key of a problem (core's [`roundelim_core::iso::dedup_key`]).
+pub use roundelim_core::iso::dedup_key as cache_key;
+
+/// Identifier of an interned problem (an isomorphism class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// The first concrete representative that reached this class.
+    problem: Problem,
+    /// Memoized [`full_step`] successor (and the derived problem itself,
+    /// which may differ from the successor class representative by a label
+    /// renaming — certificates need the concrete derived problem).
+    step: Option<(NodeId, Problem)>,
+    /// Memoized 0-round verdicts, one slot per [`ZeroRoundModel`].
+    zero_round: [Option<bool>; 2],
+}
+
+/// Cache counters, reported in search outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Interned problems that were new (distinct isomorphism classes).
+    pub classes: usize,
+    /// Intern calls answered by an existing class.
+    pub dedup_hits: usize,
+    /// Coarse-bucket collisions resolved by an isomorphism search.
+    pub iso_resolutions: usize,
+    /// `full_step` computations avoided by the memo.
+    pub step_hits: usize,
+    /// `full_step` computations performed.
+    pub step_misses: usize,
+}
+
+/// The canonical-form cache (see module docs).
+#[derive(Debug, Default)]
+pub struct CanonCache {
+    /// Exact buckets hold one class; coarse buckets may hold several.
+    ids: HashMap<CacheKey, Vec<NodeId>>,
+    entries: Vec<Entry>,
+    /// Hit/miss counters.
+    pub stats: CacheStats,
+}
+
+impl CanonCache {
+    /// An empty cache.
+    pub fn new() -> CanonCache {
+        CanonCache::default()
+    }
+
+    /// Number of interned isomorphism classes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Interns a problem, returning its class id and whether the class is
+    /// new. The first problem to reach a class stays its representative.
+    pub fn intern(&mut self, p: Problem) -> (NodeId, bool) {
+        let key = cache_key(&p);
+        self.intern_keyed(key, p)
+    }
+
+    /// [`CanonCache::intern`] with a caller-supplied key (the search
+    /// computes keys for candidate batches on worker threads, then interns
+    /// sequentially so ids are deterministic).
+    pub fn intern_keyed(&mut self, key: CacheKey, p: Problem) -> (NodeId, bool) {
+        let exact = matches!(key, CacheKey::Exact(_));
+        let bucket = self.ids.entry(key).or_default();
+        for &id in bucket.iter() {
+            if exact {
+                self.stats.dedup_hits += 1;
+                return (id, false);
+            }
+            self.stats.iso_resolutions += 1;
+            if are_isomorphic(&self.entries[id.index()].problem, &p) {
+                self.stats.dedup_hits += 1;
+                return (id, false);
+            }
+        }
+        let id = NodeId(u32::try_from(self.entries.len()).expect("node count fits u32"));
+        bucket.push(id);
+        self.entries.push(Entry { problem: p, step: None, zero_round: [None, None] });
+        self.stats.classes += 1;
+        (id, true)
+    }
+
+    /// The representative problem of a class.
+    pub fn problem(&self, id: NodeId) -> &Problem {
+        &self.entries[id.index()].problem
+    }
+
+    /// Memoized 0-round solvability of a class under `model`. Sound across
+    /// the class because 0-round solvability is isomorphism-invariant.
+    pub fn is_zero_round(&mut self, id: NodeId, model: ZeroRoundModel) -> bool {
+        let slot = match model {
+            ZeroRoundModel::PlainPn => 0,
+            ZeroRoundModel::Oriented => 1,
+        };
+        if let Some(v) = self.entries[id.index()].zero_round[slot] {
+            return v;
+        }
+        let p = &self.entries[id.index()].problem;
+        let v = match model {
+            ZeroRoundModel::PlainPn => zero_round_pn(p).is_some(),
+            ZeroRoundModel::Oriented => zero_round_oriented(p).is_some(),
+        };
+        self.entries[id.index()].zero_round[slot] = Some(v);
+        v
+    }
+
+    /// Memoized speedup: the [`full_step`] successor class of `id`, plus
+    /// the concrete derived problem (exactly `full_step(problem(id))`,
+    /// recorded so certificate chains can splice it in verbatim).
+    ///
+    /// # Errors
+    ///
+    /// Propagates speedup errors (e.g. alphabet overflow).
+    pub fn step(&mut self, id: NodeId) -> Result<(NodeId, Problem)> {
+        if let Some(succ) = self.step_succ(id) {
+            let derived = self.step_derived(id).expect("memo present").clone();
+            return Ok((succ, derived));
+        }
+        let derived = full_step(&self.entries[id.index()].problem)?.problem().clone();
+        let key = cache_key(&derived);
+        let (succ, _) = self.record_step(id, derived.clone(), key);
+        Ok((succ, derived))
+    }
+
+    /// The memoized step successor class, if it has been computed. Cheap
+    /// (no problem clone) — fetch the derived problem separately with
+    /// [`CanonCache::step_derived`] on the rare paths that need it.
+    pub fn step_succ(&mut self, id: NodeId) -> Option<NodeId> {
+        let memo = self.entries[id.index()].step.as_ref().map(|(succ, _)| *succ);
+        if memo.is_some() {
+            self.stats.step_hits += 1;
+        }
+        memo
+    }
+
+    /// The memoized concrete derived problem of `id`'s step, if computed.
+    pub fn step_derived(&self, id: NodeId) -> Option<&Problem> {
+        self.entries[id.index()].step.as_ref().map(|(_, derived)| derived)
+    }
+
+    /// Records a step result the caller computed (with its cache key) on a
+    /// worker thread; interns the derived problem and fills the memo.
+    /// Returns the successor class and whether it is new.
+    pub fn record_step(&mut self, id: NodeId, derived: Problem, key: CacheKey) -> (NodeId, bool) {
+        self.stats.step_misses += 1;
+        let (succ, new) = self.intern_keyed(key, derived.clone());
+        self.entries[id.index()].step = Some((succ, derived));
+        (succ, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> Problem {
+        Problem::parse("name: sc\nnode: 1 0 0\nedge: 0 0 | 0 1").unwrap()
+    }
+
+    #[test]
+    fn isomorphic_problems_share_a_class() {
+        let mut cache = CanonCache::new();
+        let (a, new_a) = cache.intern(sc());
+        let renamed = Problem::parse("name: r\nnode: B A A\nedge: A A | A B").unwrap();
+        let (b, new_b) = cache.intern(renamed);
+        assert!(new_a && !new_b);
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats.dedup_hits, 1);
+        // The representative is the first problem interned.
+        assert_eq!(cache.problem(a).name(), "sc");
+    }
+
+    #[test]
+    fn large_problems_use_coarse_keys_and_still_dedup() {
+        // 12 labels > CANON_MAX_LABELS: a renamed copy must still dedup,
+        // via the coarse bucket + isomorphism resolution.
+        let mk = |names: &[&str]| {
+            let node = names.chunks(2).map(|c| c.join(" ")).collect::<Vec<_>>().join(" | ");
+            let edge = names.windows(2).map(|c| c.join(" ")).collect::<Vec<_>>().join(" | ");
+            Problem::parse(&format!("name: big\nnode: {node}\nedge: {edge}")).unwrap()
+        };
+        let names: Vec<&str> = vec!["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"];
+        let renamed: Vec<&str> =
+            vec!["x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "xa", "xb"];
+        assert!(matches!(cache_key(&mk(&names)), CacheKey::Coarse { .. }));
+        let mut cache = CanonCache::new();
+        let (a, _) = cache.intern(mk(&names));
+        let (b, new_b) = cache.intern(mk(&renamed));
+        assert_eq!(a, b);
+        assert!(!new_b);
+        assert!(cache.stats.iso_resolutions >= 1);
+    }
+
+    #[test]
+    fn step_is_memoized() {
+        let mut cache = CanonCache::new();
+        let (id, _) = cache.intern(sc());
+        let (s1, d1) = cache.step(id).unwrap();
+        let (s2, d2) = cache.step(id).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(d1, d2);
+        assert_eq!(cache.stats.step_misses, 1);
+        assert_eq!(cache.stats.step_hits, 1);
+        // §4.4: the derived problem of sinkless coloring is isomorphic to it.
+        assert_eq!(s1, id);
+    }
+
+    #[test]
+    fn zero_round_is_memoized_per_model() {
+        let mut cache = CanonCache::new();
+        let trivial = Problem::parse("name: t\nnode: X X X\nedge: X X").unwrap();
+        let (id, _) = cache.intern(trivial);
+        assert!(cache.is_zero_round(id, ZeroRoundModel::PlainPn));
+        assert!(cache.is_zero_round(id, ZeroRoundModel::Oriented));
+        let (sc_id, _) = cache.intern(sc());
+        assert!(!cache.is_zero_round(sc_id, ZeroRoundModel::Oriented));
+        assert!(!cache.is_zero_round(sc_id, ZeroRoundModel::Oriented)); // memo path
+    }
+}

@@ -1,0 +1,390 @@
+//! A minimal JSON value type with a writer and a parser.
+//!
+//! The workspace's offline `serde` stand-in ships trait bounds but no data
+//! format, so the certificate files and the CLI's `--json` output are
+//! produced by this hand-rolled implementation. It covers exactly the JSON
+//! subset the subsystem emits: objects, arrays, strings, booleans, `null`,
+//! and non-negative integers (every number in a certificate is an index or
+//! a count).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (indices and counts only).
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys are sorted (BTreeMap) so output is deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the value as indented JSON (2-space indent).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        let (nl, pad, padc) = match indent {
+            Some(w) => ("\n", " ".repeat(w * (level + 1)), " ".repeat(w * level)),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(v) => {
+                if v.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    e.write(out, indent, level + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&padc);
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                if m.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent, level + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&padc);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(m));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                m.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(m));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut v = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(v));
+            }
+            loop {
+                v.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(v));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).expect("digits are utf8");
+            s.parse::<u64>().map(Json::Num).map_err(|e| format!("bad number at byte {start}: {e}"))
+        }
+        Some(c) => Err(format!("unexpected byte `{}` at {}", *c as char, *pos)),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut s = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(s);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let hex4 = |pos: usize| -> Result<u32, String> {
+                            let hex = b
+                                .get(pos..pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                            u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape".to_owned())?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape".to_owned())
+                        };
+                        let code = hex4(*pos + 1)?;
+                        *pos += 4;
+                        let scalar = if (0xd800..0xdc00).contains(&code) {
+                            // High surrogate: a standards-compliant encoder
+                            // follows it with a \uDC00–\uDFFF low half.
+                            if b.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err("lone high surrogate in \\u escape".to_owned());
+                            }
+                            let low = hex4(*pos + 3)?;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err("invalid low surrogate in \\u escape".to_owned());
+                            }
+                            *pos += 6;
+                            0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                        } else if (0xdc00..0xe000).contains(&code) {
+                            return Err("lone low surrogate in \\u escape".to_owned());
+                        } else {
+                            code
+                        };
+                        s.push(char::from_u32(scalar).ok_or_else(|| "bad \\u escape".to_owned())?);
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Copy the full UTF-8 scalar starting at `c`.
+                let ch_len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b
+                    .get(*pos..*pos + ch_len)
+                    .ok_or_else(|| format!("truncated utf8 at byte {}", *pos))?;
+                s.push_str(
+                    std::str::from_utf8(chunk)
+                        .map_err(|_| format!("invalid utf8 at byte {}", *pos))?,
+                );
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_compact_and_pretty() {
+        let v = Json::obj([
+            ("name", Json::Str("a \"quoted\"\nline".into())),
+            ("nums", Json::Arr(vec![Json::Num(0), Json::Num(42)])),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+        ]);
+        for text in [v.to_string_compact(), v.to_string_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::obj([("k", Json::Num(7))]);
+        assert_eq!(v.get("k").and_then(Json::as_u64), Some(7));
+        assert!(v.get("missing").is_none());
+        assert_eq!(Json::Str("x".into()).as_str(), Some("x"));
+        assert!(Json::Num(1).as_arr().is_none());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("nope").is_err());
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let v = Json::Str("Δ ≅ Ω".into());
+        assert_eq!(Json::parse(&v.to_string_compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        // A standards-compliant ASCII encoder writes non-BMP characters as
+        // surrogate pairs (e.g. python json.dumps with ensure_ascii=True).
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("😀".into()));
+        assert_eq!(Json::parse("\"\\u0394\"").unwrap(), Json::Str("Δ".into()));
+        for lone in ["\"\\ud83d\"", "\"\\ude00\"", "\"\\ud83d\\u0041\"", "\"\\ud83d!\""] {
+            assert!(Json::parse(lone).is_err(), "{lone} must be rejected");
+        }
+    }
+}

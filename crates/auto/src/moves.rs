@@ -1,0 +1,395 @@
+//! Candidate search moves: relaxations (for lower bounds) and hardenings
+//! (for upper bounds), generated from the constraint structure.
+//!
+//! Relaxations make a problem easier — any algorithm for the current
+//! problem solves the relaxed one after a 0-round label translation — so a
+//! lower bound proved for the relaxed problem transfers to the current one.
+//! The generator produces:
+//!
+//! * **label merges** — quotient the problem by identifying two labels
+//!   (§2.1's "simplify the problem description" move, the one the paper
+//!   applies by hand between speedup steps);
+//! * **label-set coarsenings** — one move merging every group of labels
+//!   that behave identically on the edge side, the structural batch
+//!   version of the same idea.
+//!
+//! Hardenings go the other way — the new problem is at least as hard, so
+//! an upper bound for it transfers back (§4.5's Π₁ → Π₁* move). Generated:
+//! dropping a label (with every configuration mentioning it) and dropping
+//! a single node configuration.
+//!
+//! Every move carries its witness label map; the search emits these maps
+//! into certificates, and [`crate::certificate::Certificate::verify`]
+//! replays them with `roundelim_core::relax::check_relaxation`.
+
+use roundelim_core::label::{Alphabet, Label};
+use roundelim_core::labelset::LabelSet;
+use roundelim_core::problem::Problem;
+
+/// A relaxation candidate: `result` is easier than the source problem, as
+/// witnessed by `map` (source label → result label).
+#[derive(Debug, Clone)]
+pub struct RelaxMove {
+    /// Human-readable description, e.g. `merge A←B`.
+    pub what: String,
+    /// Witness label map (indexed by source label).
+    pub map: Vec<Label>,
+    /// The relaxed problem.
+    pub result: Problem,
+}
+
+/// A hardening candidate: `result` is at least as hard as the source
+/// problem, as witnessed by `map` (result label → source label).
+#[derive(Debug, Clone)]
+pub struct HardenMove {
+    /// Human-readable description, e.g. `drop label X`.
+    pub what: String,
+    /// Witness label map (indexed by result label).
+    pub map: Vec<Label>,
+    /// The hardened problem.
+    pub result: Problem,
+}
+
+/// Builds the quotient of `p` under a partition of its labels.
+///
+/// `rep[i]` names the representative (an old label index) of old label `i`;
+/// representatives must map to themselves. Returns the quotient problem and
+/// the witness map, or `None` if the construction fails (it cannot for a
+/// well-formed partition, but the guard keeps candidate generation total).
+fn quotient(p: &Problem, rep: &[usize], what: String) -> Option<RelaxMove> {
+    debug_assert!(rep.iter().all(|&r| rep[r] == r), "representatives must be fixed points");
+    // New alphabet: representatives in old-index order keep their names.
+    let mut new_index = vec![usize::MAX; p.alphabet().len()];
+    let mut names: Vec<&str> = Vec::new();
+    for i in 0..p.alphabet().len() {
+        if rep[i] == i {
+            new_index[i] = names.len();
+            names.push(p.alphabet().name(Label::from_index(i)));
+        }
+    }
+    let alphabet = Alphabet::from_names(names).ok()?;
+    let map: Vec<Label> =
+        (0..p.alphabet().len()).map(|i| Label::from_index(new_index[rep[i]])).collect();
+    let node = p.node().map_labels(|l| map[l.index()]);
+    let edge = p.edge().map_labels(|l| map[l.index()]);
+    let result = Problem::new(format!("{}″", p.name()), alphabet, node, edge).ok()?;
+    Some(RelaxMove { what, map, result })
+}
+
+/// All pairwise label-merge relaxations of `p` (one per unordered label
+/// pair; merging `{a, b}` either way yields the same quotient up to
+/// renaming, so the smaller index is kept as representative).
+pub fn merge_moves(p: &Problem) -> Vec<RelaxMove> {
+    pairwise_merges(p, &std::collections::HashSet::new())
+}
+
+/// [`merge_moves`] minus the unordered pairs in `skip`.
+fn pairwise_merges(
+    p: &Problem,
+    skip: &std::collections::HashSet<(usize, usize)>,
+) -> Vec<RelaxMove> {
+    let n = p.alphabet().len();
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if skip.contains(&(a, b)) {
+                continue;
+            }
+            let mut rep: Vec<usize> = (0..n).collect();
+            rep[b] = a;
+            let what = format!(
+                "merge {}←{}",
+                p.alphabet().name(Label::from_index(a)),
+                p.alphabet().name(Label::from_index(b))
+            );
+            if let Some(mv) = quotient(p, &rep, what) {
+                out.push(mv);
+            }
+        }
+    }
+    out
+}
+
+/// Dominated-label merges: merge `a` into `b` whenever *every*
+/// configuration containing `a` stays a configuration after replacing `a`
+/// by `b` (on both the node and the edge side). The quotient then adds no
+/// new configurations — it is exactly `p` with label `a` dropped — so the
+/// relaxation is "free" in the round-eliminator sense: it shrinks the
+/// description without weakening the constraints anywhere else. These are
+/// the merges that collapse a derived problem back onto the §4.4/§4.5
+/// fixed-point shapes, so they are generated before the generic pairwise
+/// merges.
+pub fn dominated_merge_moves(p: &Problem) -> Vec<RelaxMove> {
+    let n = p.alphabet().len();
+    let mut out = Vec::new();
+    for (a, b) in dominated_pairs(p) {
+        let mut rep: Vec<usize> = (0..n).collect();
+        rep[a] = b;
+        // `quotient` wants representatives to be fixed points; b is.
+        let what = format!(
+            "absorb {}→{}",
+            p.alphabet().name(Label::from_index(a)),
+            p.alphabet().name(Label::from_index(b))
+        );
+        if let Some(mv) = quotient(p, &rep, what) {
+            out.push(mv);
+        }
+    }
+    out
+}
+
+/// All ordered pairs `(a, b)` where `b` dominates `a` (see
+/// [`dominated_merge_moves`]), in lexicographic order.
+fn dominated_pairs(p: &Problem) -> Vec<(usize, usize)> {
+    let n = p.alphabet().len();
+    let mut out = Vec::new();
+    for a in 0..n {
+        let la = Label::from_index(a);
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let lb = Label::from_index(b);
+            let dominated = |c: &roundelim_core::constraint::Constraint| {
+                c.iter().filter(|cfg| cfg.contains(la)).all(|cfg| c.contains(&cfg.replace(la, lb)))
+            };
+            if dominated(p.node()) && dominated(p.edge()) {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
+/// The full simplification of `p`: absorb dominated labels repeatedly (the
+/// lexicographically first applicable absorption each round) until none
+/// remain, composing the witness maps into one relaxation move. This is
+/// the round-eliminator "simplify" pass as a single search edge; `None`
+/// when no label is dominated.
+pub fn simplify_move(p: &Problem) -> Option<RelaxMove> {
+    let mut current = p.clone();
+    let mut map: Vec<Label> = (0..p.alphabet().len()).map(Label::from_index).collect();
+    let mut absorbed = 0usize;
+    loop {
+        let step = dominated_merge_moves(&current);
+        let Some(mv) = step.into_iter().next() else { break };
+        for slot in map.iter_mut() {
+            *slot = mv.map[slot.index()];
+        }
+        current = mv.result;
+        absorbed += 1;
+    }
+    if absorbed == 0 {
+        return None;
+    }
+    Some(RelaxMove {
+        what: format!("simplify (absorb {absorbed} dominated labels)"),
+        map,
+        result: current,
+    })
+}
+
+/// The structural coarsening of `p`: merge every group of labels with an
+/// identical edge-side compatibility row (labels the edge constraint cannot
+/// tell apart). Returns `None` when the grouping is trivial (all groups are
+/// singletons) — then the move would be the identity.
+pub fn coarsen_move(p: &Problem) -> Option<RelaxMove> {
+    let n = p.alphabet().len();
+    let rows = p.edge().compatibility_matrix(n).ok()?;
+    let mut rep: Vec<usize> = (0..n).collect();
+    let mut merged = false;
+    for i in 0..n {
+        for j in 0..i {
+            if rows[i] == rows[j] {
+                rep[i] = rep[j];
+                merged = true;
+                break;
+            }
+        }
+    }
+    if !merged {
+        return None;
+    }
+    quotient(p, &rep, "coarsen edge-equal labels".to_owned())
+}
+
+/// All relaxation candidates of `p`, in deterministic order: the composite
+/// simplification first, then single dominated merges (free shrinkage),
+/// then the structural coarsening, then the generic pairwise merges.
+/// Generic merges of pairs already covered by a dominated merge are
+/// skipped — identifying `{a, b}` yields the same quotient up to renaming
+/// either way, and every duplicate candidate would cost a full cache key
+/// downstream.
+pub fn relax_moves(p: &Problem) -> Vec<RelaxMove> {
+    let mut out = Vec::new();
+    if let Some(mv) = simplify_move(p) {
+        out.push(mv);
+    }
+    out.extend(dominated_merge_moves(p));
+    if let Some(mv) = coarsen_move(p) {
+        out.push(mv);
+    }
+    let dominated: std::collections::HashSet<(usize, usize)> =
+        dominated_pairs(p).into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect();
+    out.extend(pairwise_merges(p, &dominated));
+    out
+}
+
+/// Node-configuration count above which per-configuration drop moves are
+/// not generated (they would dominate the branching factor).
+const MAX_CONFIG_DROPS: usize = 24;
+
+/// All hardening candidates of `p`, in deterministic order: label drops
+/// first, then (for small constraints) single node-configuration drops.
+/// Results with an empty node or edge constraint are unsolvable and are
+/// not emitted.
+pub fn harden_moves(p: &Problem) -> Vec<HardenMove> {
+    let n = p.alphabet().len();
+    let mut out = Vec::new();
+    for dropped in 0..n {
+        let keep = LabelSet::from_labels((0..n).filter(|&i| i != dropped).map(Label::from_index));
+        let node = p.node().restrict(&keep);
+        let edge = p.edge().restrict(&keep);
+        if node.is_empty() || edge.is_empty() {
+            continue;
+        }
+        // Result alphabet: surviving labels keep their names; the witness
+        // map is the identity embedding back into `p`'s alphabet.
+        let names =
+            (0..n).filter(|&i| i != dropped).map(|i| p.alphabet().name(Label::from_index(i)));
+        let Ok(alphabet) = Alphabet::from_names(names) else { continue };
+        let mut back = Vec::with_capacity(n - 1);
+        let mut fwd = vec![Label::from_index(0); n];
+        for (new_ix, old_ix) in (0..n).filter(|&i| i != dropped).enumerate() {
+            back.push(Label::from_index(old_ix));
+            fwd[old_ix] = Label::from_index(new_ix);
+        }
+        let node = node.map_labels(|l| fwd[l.index()]);
+        let edge = edge.map_labels(|l| fwd[l.index()]);
+        let Ok(result) = Problem::new(format!("{}*", p.name()), alphabet, node, edge) else {
+            continue;
+        };
+        out.push(HardenMove {
+            what: format!("drop label {}", p.alphabet().name(Label::from_index(dropped))),
+            map: back,
+            result,
+        });
+    }
+    if p.node().len() <= MAX_CONFIG_DROPS {
+        let identity: Vec<Label> = (0..n).map(Label::from_index).collect();
+        for (ix, dropped_cfg) in p.node().iter().enumerate() {
+            if p.node().len() < 2 {
+                break;
+            }
+            let node = roundelim_core::constraint::Constraint::from_configs(
+                p.node().arity(),
+                p.node().iter().filter(|c| *c != dropped_cfg).cloned(),
+            );
+            let Ok(node) = node else { continue };
+            let Ok(result) = Problem::new(
+                format!("{}*", p.name()),
+                p.alphabet().clone(),
+                node,
+                p.edge().clone(),
+            ) else {
+                continue;
+            };
+            out.push(HardenMove {
+                what: format!("drop node config #{ix}"),
+                map: identity.clone(),
+                result,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roundelim_core::relax::check_relaxation;
+
+    fn sc() -> Problem {
+        Problem::parse("name: sc\nnode: 1 0 0\nedge: 0 0 | 0 1").unwrap()
+    }
+
+    #[test]
+    fn merges_carry_valid_witnesses() {
+        let p = Problem::parse("name: p\nnode: A A | A B | B C\nedge: A B | A C | B C").unwrap();
+        let moves = merge_moves(&p);
+        assert_eq!(moves.len(), 3); // C(3,2) unordered pairs
+        for mv in &moves {
+            assert!(
+                check_relaxation(&p, &mv.result, &mv.map),
+                "merge witness failed for {}",
+                mv.what
+            );
+            assert_eq!(mv.result.alphabet().len(), 2);
+        }
+    }
+
+    #[test]
+    fn coarsening_groups_edge_equal_labels() {
+        // B and C have identical edge rows (both compatible exactly with A).
+        let p = Problem::parse("name: p\nnode: A B C\nedge: A B | A C").unwrap();
+        let mv = coarsen_move(&p).expect("B and C are edge-equal");
+        assert_eq!(mv.result.alphabet().len(), 2);
+        assert!(check_relaxation(&p, &mv.result, &mv.map));
+        // All labels already distinct on the edge side ⇒ no move.
+        assert!(coarsen_move(&sc()).is_none());
+    }
+
+    #[test]
+    fn hardenings_carry_valid_witnesses() {
+        let p = Problem::parse("name: p\nnode: A A | A B\nedge: A A | A B").unwrap();
+        for mv in harden_moves(&p) {
+            assert!(
+                check_relaxation(&mv.result, &p, &mv.map),
+                "harden witness failed for {}",
+                mv.what
+            );
+            assert!(!mv.result.node().is_empty() && !mv.result.edge().is_empty());
+        }
+    }
+
+    #[test]
+    fn harden_never_emits_unsolvable_results() {
+        // Dropping label O or I kills the edge constraint entirely.
+        let so = Problem::parse("name: so\nnode: O O O | O O I | O I I\nedge: O I").unwrap();
+        for mv in harden_moves(&so) {
+            assert!(!mv.result.node().is_empty());
+            assert!(!mv.result.edge().is_empty());
+        }
+    }
+
+    #[test]
+    fn dominated_label_is_absorbed() {
+        // B is dominated by A: every config survives the replacement B→A.
+        let p = Problem::parse("name: p\nnode: A A | A B\nedge: A A | A B").unwrap();
+        let moves = dominated_merge_moves(&p);
+        assert_eq!(moves.len(), 1, "only B→A absorbs; A→B does not");
+        assert!(moves[0].what.contains("absorb B→A"), "{}", moves[0].what);
+        assert!(check_relaxation(&p, &moves[0].result, &moves[0].map));
+        // The quotient adds no configurations: it is p minus label B.
+        assert_eq!(moves[0].result.node().len(), 1);
+        assert_eq!(moves[0].result.edge().len(), 1);
+    }
+
+    #[test]
+    fn simplify_composes_absorptions_into_one_witness() {
+        // B and C both absorb into A; the composite map must still verify.
+        let p = Problem::parse("name: p\nnode: A A | A B | A C\nedge: A A | A B | A C").unwrap();
+        let mv = simplify_move(&p).expect("two dominated labels");
+        assert_eq!(mv.result.alphabet().len(), 1);
+        assert!(check_relaxation(&p, &mv.result, &mv.map));
+        assert!(simplify_move(&sc()).is_none(), "sc has no dominated labels");
+    }
+
+    #[test]
+    fn relax_moves_are_deterministic() {
+        let p = sc();
+        let a: Vec<String> = relax_moves(&p).into_iter().map(|m| m.what).collect();
+        let b: Vec<String> = relax_moves(&p).into_iter().map(|m| m.what).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,689 @@
+//! The automated bound search: best-first beam exploration of the graph
+//! whose nodes are problems (deduplicated by canonical form) and whose
+//! edges are speedup steps and candidate relaxations/hardenings.
+//!
+//! ## Lower bounds ([`autolb`])
+//!
+//! From the input problem, the search interleaves [`full_step`] edges with
+//! searched relaxations ([`crate::moves::relax_moves`]), exactly the §2.1
+//! recipe but with the relaxations *discovered* instead of hand-supplied.
+//! It stops on
+//!
+//! * a **cycle up to isomorphism** containing at least one step edge — the
+//!   §4.4 fixed-point argument, certifying an unbounded lower bound;
+//! * a **0-round problem** at step depth `d` — certifying lower bound `d`;
+//! * **budget exhaustion** — certifying the depth reached.
+//!
+//! ## Upper bounds ([`autoub`])
+//!
+//! The dual hardening direction (§4.5): edges are speedup steps and
+//! searched hardenings ([`crate::moves::harden_moves`]); reaching a 0-round
+//! problem after `d` step edges certifies upper bound `d` on the
+//! Theorem-1/2 regime.
+//!
+//! Every verdict is emitted as a [`Certificate`] and independently
+//! replayed by [`Certificate::verify`] before being returned, so a search
+//! bug cannot produce a wrong bound.
+//!
+//! ## Parallelism and determinism
+//!
+//! Frontier expansion fans out across cores with [`std::thread::scope`]
+//! (the PR 2 merge-closure pattern): the *pure* per-node work — speedup
+//! steps, candidate generation, canonicalization — runs on workers in
+//! contiguous chunks, and results are folded into the cache sequentially
+//! in item order. The outcome is identical for every thread count; the
+//! `threads` option (0 = the `ROUNDELIM_THREADS` variable, else all
+//! cores) only sets how fast it arrives.
+
+use crate::cache::{cache_key, CacheKey, CacheStats, CanonCache, NodeId};
+use crate::certificate::{CertVerdict, Certificate, Direction, Edge};
+use crate::moves::{harden_moves, relax_moves};
+use crate::score::score;
+use roundelim_core::error::Result;
+use roundelim_core::iso::isomorphism;
+use roundelim_core::problem::Problem;
+use roundelim_core::sequence::ZeroRoundModel;
+use roundelim_core::speedup::full_step;
+
+/// Tuning knobs for [`autolb`] / [`autoub`].
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Speedup-step depth budget.
+    pub max_steps: usize,
+    /// Nodes stepped per depth level (and kept per relaxation wave).
+    pub beam_width: usize,
+    /// Whether to search relaxations/hardenings at all; with `false`,
+    /// [`autolb`] degenerates to the plain iterated speedup.
+    pub use_relaxations: bool,
+    /// Problems with more labels than this are not enqueued (the speedup
+    /// can grow alphabets doubly exponentially; relaxations are how the
+    /// search gets back under the limit).
+    pub max_labels: usize,
+    /// Worker threads; 0 resolves `ROUNDELIM_THREADS` / all cores.
+    pub threads: usize,
+    /// The 0-round model for goal checks.
+    pub model: ZeroRoundModel,
+}
+
+impl Default for SearchOptions {
+    fn default() -> SearchOptions {
+        SearchOptions {
+            max_steps: 12,
+            beam_width: 8,
+            use_relaxations: true,
+            max_labels: 12,
+            threads: 0,
+            model: ZeroRoundModel::Oriented,
+        }
+    }
+}
+
+/// The search's conclusion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// A speedup cycle up to isomorphism: the lower bound exceeds every `t`
+    /// admitting a t-independent girth-(2t+2) class (e.g. Ω(log n) for
+    /// sinkless orientation).
+    Unbounded,
+    /// A certified lower bound of `rounds` rounds.
+    LowerBound {
+        /// The certified bound.
+        rounds: usize,
+    },
+    /// A certified upper bound of `rounds` rounds on the Theorem-1/2 regime.
+    UpperBound {
+        /// The certified bound.
+        rounds: usize,
+    },
+    /// The budget was exhausted without a certifiable verdict.
+    Inconclusive,
+}
+
+/// Search effort counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// Nodes whose speedup step was taken.
+    pub expanded: usize,
+    /// Speedup steps that died on a resource limit (alphabet overflow);
+    /// those paths end there, the search continues elsewhere.
+    pub step_failures: usize,
+    /// Step depth reached.
+    pub depth_reached: usize,
+    /// Canonical-form cache counters.
+    pub cache: CacheStats,
+}
+
+/// The result of a search: verdict, replayable certificate (already
+/// verified), and effort counters.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The conclusion.
+    pub verdict: Verdict,
+    /// The certificate backing the verdict (`None` only for
+    /// [`Verdict::Inconclusive`]).
+    pub certificate: Option<Certificate>,
+    /// Effort counters.
+    pub stats: SearchStats,
+}
+
+/// Resolves the worker-thread count: explicit option, else the
+/// `ROUNDELIM_THREADS` environment variable, else all available cores.
+fn resolve_threads(opt: usize) -> usize {
+    if opt > 0 {
+        return opt;
+    }
+    std::env::var("ROUNDELIM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Maps `f` over contiguous chunks of `items` on scoped worker threads,
+/// returning per-item results in item order. Results are bit-identical for
+/// every thread count: only the schedule changes.
+fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .skip(1)
+            .map(|part| s.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        let mut out: Vec<R> = items[..chunk.min(items.len())].iter().map(&f).collect();
+        for h in handles {
+            out.extend(h.join().expect("search worker panicked"));
+        }
+        out
+    })
+}
+
+/// Per-node search bookkeeping, indexed by [`NodeId`] in lockstep with the
+/// cache's class store.
+struct Meta {
+    /// Step edges on the first-reach path from the root.
+    depth: usize,
+    /// First-reach parent and the edge that produced this node's
+    /// representative from the parent's representative (verbatim — this is
+    /// what makes certificate chains replay exactly).
+    parent: Option<(NodeId, Edge)>,
+}
+
+struct Search {
+    cache: CanonCache,
+    meta: Vec<Meta>,
+    opts: SearchOptions,
+    threads: usize,
+    stats: SearchStats,
+}
+
+/// A cycle hit: expanding `from` with `edge` derived `problem`, whose class
+/// is the ancestor `back_to`.
+struct CycleHit {
+    from: NodeId,
+    edge: Edge,
+    problem: Problem,
+    back_to: NodeId,
+}
+
+impl Search {
+    fn new(opts: &SearchOptions) -> Search {
+        Search {
+            cache: CanonCache::new(),
+            meta: Vec::new(),
+            opts: opts.clone(),
+            threads: resolve_threads(opts.threads),
+            stats: SearchStats::default(),
+        }
+    }
+
+    fn intern(
+        &mut self,
+        p: Problem,
+        key: CacheKey,
+        parent: Option<(NodeId, Edge)>,
+        depth: usize,
+    ) -> (NodeId, bool) {
+        let (id, new) = self.cache.intern_keyed(key, p);
+        if new {
+            self.meta.push(Meta { depth, parent });
+            debug_assert_eq!(self.meta.len(), self.cache.len());
+        }
+        (id, new)
+    }
+
+    /// Problems above this label count are not interned at all: they are
+    /// too symmetric to canonicalize affordably and too far from the beam
+    /// to ever be relaxed back under [`SearchOptions::max_labels`] by
+    /// pairwise merges.
+    fn intern_cap(&self) -> usize {
+        (4 * self.opts.max_labels).max(24)
+    }
+
+    fn zero(&mut self, id: NodeId) -> bool {
+        let model = self.opts.model;
+        self.cache.is_zero_round(id, model)
+    }
+
+    fn is_ancestor(&self, anc: NodeId, mut n: NodeId) -> bool {
+        loop {
+            if n == anc {
+                return true;
+            }
+            match self.meta[n.index()].parent {
+                Some((p, _)) => n = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// The first-reach chain root → `n`: problems and connecting edges.
+    fn chain_to(&self, n: NodeId) -> (Vec<Problem>, Vec<Edge>, Vec<NodeId>) {
+        let mut ids = vec![n];
+        let mut edges = Vec::new();
+        let mut cur = n;
+        while let Some((p, e)) = &self.meta[cur.index()].parent {
+            ids.push(*p);
+            edges.push(e.clone());
+            cur = *p;
+        }
+        ids.reverse();
+        edges.reverse();
+        let problems = ids.iter().map(|&id| self.cache.problem(id).clone()).collect();
+        (problems, edges, ids)
+    }
+
+    /// Orders `pool` by (score, id) and truncates to the beam width.
+    fn select_beam(&self, pool: &mut Vec<NodeId>) {
+        pool.sort_by_key(|&id| (score(self.cache.problem(id)), id));
+        pool.truncate(self.opts.beam_width);
+    }
+
+    /// The beam actually stepped: best nodes whose alphabet fits
+    /// [`SearchOptions::max_labels`] (oversized pool members only serve as
+    /// relaxation sources — stepping them would blow the alphabet up
+    /// further).
+    fn steppable_beam(&self, pool: &[NodeId]) -> Vec<NodeId> {
+        let mut beam: Vec<NodeId> = pool
+            .iter()
+            .copied()
+            .filter(|&id| self.cache.problem(id).alphabet().len() <= self.opts.max_labels)
+            .collect();
+        self.select_beam(&mut beam);
+        beam
+    }
+
+    /// Expands relaxation (or hardening) moves from `pool` to a fixed
+    /// point, interning new nodes at `depth`. New 0-round nodes are pushed
+    /// to `goals` and not expanded further. Returns a cycle hit as soon as
+    /// one closes (lower-bound direction only; hardening chains cannot
+    /// cycle usefully and `detect_cycles` is false there).
+    fn sideways_closure(
+        &mut self,
+        pool: &mut Vec<NodeId>,
+        depth: usize,
+        direction: Direction,
+        detect_cycles: bool,
+        goals: &mut Vec<NodeId>,
+    ) -> Option<CycleHit> {
+        let mut wave: Vec<NodeId> = pool.clone();
+        while !wave.is_empty() {
+            // Generate candidates (and their canonical keys) in parallel;
+            // the per-candidate work is pure.
+            let sources: Vec<(NodeId, Problem)> =
+                wave.iter().map(|&n| (n, self.cache.problem(n).clone())).collect();
+            let cap = self.intern_cap();
+            let cands: Vec<Vec<(Vec<roundelim_core::label::Label>, Problem, CacheKey)>> =
+                par_map(&sources, self.threads, |(_, p)| {
+                    let moves: Vec<_> = match direction {
+                        Direction::Lower => {
+                            relax_moves(p).into_iter().map(|m| (m.map, m.result)).collect()
+                        }
+                        Direction::Upper => {
+                            harden_moves(p).into_iter().map(|m| (m.map, m.result)).collect()
+                        }
+                    };
+                    moves
+                        .into_iter()
+                        .filter(|(_, r)| r.alphabet().len() <= cap)
+                        .map(|(map, r)| {
+                            let key = cache_key(&r);
+                            (map, r, key)
+                        })
+                        .collect()
+                });
+            // Fold into the cache sequentially, in item order.
+            let mut next_wave = Vec::new();
+            for ((n, _), list) in sources.iter().zip(cands) {
+                for (map, result, key) in list {
+                    let edge = match direction {
+                        Direction::Lower => Edge::Relax { map },
+                        Direction::Upper => Edge::Harden { map },
+                    };
+                    let (c, new) =
+                        self.intern(result.clone(), key, Some((*n, edge.clone())), depth);
+                    if new {
+                        if self.zero(c) {
+                            goals.push(c);
+                        } else {
+                            pool.push(c);
+                            next_wave.push(c);
+                        }
+                    } else if detect_cycles
+                        && self.is_ancestor(c, *n)
+                        && self.meta[n.index()].depth > self.meta[c.index()].depth
+                    {
+                        // A sideways edge closing onto an ancestor with at
+                        // least one step edge in between.
+                        return Some(CycleHit { from: *n, edge, problem: result, back_to: c });
+                    }
+                }
+            }
+            // Keep the wave (and the per-depth pool) bounded: relaxation
+            // chains strictly shrink the alphabet, so this terminates, but
+            // without a beam the partition lattice is explored whole.
+            self.select_beam(&mut next_wave);
+            wave = next_wave;
+        }
+        None
+    }
+
+    /// Takes the speedup step of every beam node in parallel, interning
+    /// children at `depth + 1`. Steps that die on a resource limit
+    /// (alphabet overflow) or whose child exceeds the intern cap are dead
+    /// ends: the path stops, the search continues. Returns the new
+    /// frontier and a cycle hit if one closed.
+    fn step_beam(
+        &mut self,
+        beam: &[NodeId],
+        depth: usize,
+        detect_cycles: bool,
+        goals: &mut Vec<NodeId>,
+    ) -> (Vec<NodeId>, Option<CycleHit>) {
+        // Memoized steps resolve immediately (successor id only — the
+        // derived problem is fetched just on the cycle-hit path); the rest
+        // compute in parallel.
+        let mut todo: Vec<(NodeId, Problem)> = Vec::new();
+        let mut resolved: Vec<(NodeId, Option<NodeId>)> = Vec::new();
+        for &n in beam {
+            match self.cache.step_succ(n) {
+                Some(succ) => resolved.push((n, Some(succ))),
+                None => {
+                    todo.push((n, self.cache.problem(n).clone()));
+                    resolved.push((n, None));
+                }
+            }
+        }
+        let cap = self.intern_cap();
+        let computed: Vec<Option<(Problem, CacheKey)>> = par_map(&todo, self.threads, |(_, p)| {
+            let derived = full_step(p).ok()?.problem().clone();
+            if derived.alphabet().len() > cap
+                || derived.node().is_empty()
+                || derived.edge().is_empty()
+            {
+                // Over-cap children cannot be canonicalized affordably; an
+                // empty constraint means the derived problem is unsolvable
+                // outright (and the text format cannot express it). Both
+                // end the path here.
+                return None;
+            }
+            let key = cache_key(&derived);
+            Some((derived, key))
+        });
+        let mut computed_iter = computed.into_iter();
+        let mut frontier = Vec::new();
+        let mut hit = None;
+        for (n, memo) in resolved {
+            self.stats.expanded += 1;
+            let (child, new) = match memo {
+                Some(succ) => (succ, false),
+                None => {
+                    let Some((derived, key)) =
+                        computed_iter.next().expect("one result per todo item")
+                    else {
+                        self.stats.step_failures += 1;
+                        continue; // dead end: overflow or over-cap child
+                    };
+                    let (succ, new) = self.cache.record_step(n, derived, key);
+                    if new {
+                        self.meta.push(Meta { depth: depth + 1, parent: Some((n, Edge::Step)) });
+                        debug_assert_eq!(self.meta.len(), self.cache.len());
+                    }
+                    (succ, new)
+                }
+            };
+            if hit.is_some() {
+                continue; // a cycle already closed; drain deterministically
+            }
+            if new {
+                if self.zero(child) {
+                    goals.push(child);
+                } else {
+                    // Oversized children stay in the frontier as
+                    // relaxation sources; `steppable_beam` keeps them away
+                    // from the next step stage.
+                    frontier.push(child);
+                }
+            } else if detect_cycles && self.is_ancestor(child, n) {
+                let problem =
+                    self.cache.step_derived(n).expect("memo recorded for this node").clone();
+                hit = Some(CycleHit { from: n, edge: Edge::Step, problem, back_to: child });
+            }
+            // A dedup into a non-ancestor class is exhausted ground: that
+            // class was (or will be) expanded from its first-reach path.
+        }
+        (frontier, hit)
+    }
+
+    /// Builds and **verifies** the unbounded certificate for a cycle hit.
+    fn unbounded_certificate(&self, hit: &CycleHit) -> Certificate {
+        let (mut problems, mut edges, ids) = self.chain_to(hit.from);
+        let cycle_start = ids
+            .iter()
+            .position(|&id| id == hit.back_to)
+            .expect("cycle target is an ancestor of the closing node");
+        edges.push(hit.edge.clone());
+        problems.push(hit.problem.clone());
+        let iso_map = isomorphism(&hit.problem, &problems[cycle_start])
+            .expect("same canonical key implies isomorphic");
+        Certificate {
+            direction: Direction::Lower,
+            model: self.opts.model,
+            problems,
+            edges,
+            verdict: CertVerdict::Unbounded { cycle_start, iso_map },
+        }
+    }
+
+    fn outcome(&self, verdict: Verdict, certificate: Option<Certificate>) -> Outcome {
+        let mut stats = self.stats;
+        stats.cache = self.cache.stats;
+        Outcome { verdict, certificate, stats }
+    }
+}
+
+/// Searches for a lower bound on `p` (see module docs). The returned
+/// certificate has already replayed green under
+/// [`Certificate::verify`].
+///
+/// # Errors
+///
+/// Propagates engine errors (e.g. alphabet overflow during a speedup) and
+/// rejects internally inconsistent certificates (a search bug, surfaced
+/// rather than silently mis-reported).
+pub fn autolb(p: &Problem, opts: &SearchOptions) -> Result<Outcome> {
+    let mut s = Search::new(opts);
+    let key = cache_key(p);
+    let (root, _) = s.intern(p.clone(), key, None, 0);
+    let mut goals: Vec<NodeId> = Vec::new(); // 0-round endpoints
+    if s.zero(root) {
+        let cert = Certificate {
+            direction: Direction::Lower,
+            model: opts.model,
+            problems: vec![p.clone()],
+            edges: vec![],
+            verdict: CertVerdict::LowerBound { rounds: 0 },
+        };
+        return finish(s.outcome(Verdict::LowerBound { rounds: 0 }, Some(cert)));
+    }
+    let mut frontier = vec![root];
+    let mut deepest: (usize, NodeId) = (0, root);
+    for depth in 0..opts.max_steps {
+        let mut pool = frontier.clone();
+        if opts.use_relaxations {
+            if let Some(hit) =
+                s.sideways_closure(&mut pool, depth, Direction::Lower, true, &mut goals)
+            {
+                let cert = s.unbounded_certificate(&hit);
+                return finish(s.outcome(Verdict::Unbounded, Some(cert)));
+            }
+        }
+        let beam = s.steppable_beam(&pool);
+        let (next, hit) = s.step_beam(&beam, depth, true, &mut goals);
+        s.stats.depth_reached = depth + 1;
+        if let Some(hit) = hit {
+            let cert = s.unbounded_certificate(&hit);
+            return finish(s.outcome(Verdict::Unbounded, Some(cert)));
+        }
+        if next.is_empty() {
+            break;
+        }
+        deepest = (depth + 1, next[0]);
+        frontier = next;
+    }
+    // Budget exhausted (or the graph closed without a path cycle): certify
+    // the best endpoint seen — a 0-round endpoint at maximal step depth,
+    // or the deepest non-0-round chain.
+    let best_goal = goals.iter().map(|&g| (s.meta[g.index()].depth, g)).max_by_key(|&(d, _)| d);
+    let (rounds, endpoint) = match best_goal {
+        Some((d, g)) if d >= deepest.0 => (d, g),
+        _ => deepest,
+    };
+    let (problems, edges, _) = s.chain_to(endpoint);
+    let cert = Certificate {
+        direction: Direction::Lower,
+        model: opts.model,
+        problems,
+        edges,
+        verdict: CertVerdict::LowerBound { rounds },
+    };
+    finish(s.outcome(Verdict::LowerBound { rounds }, Some(cert)))
+}
+
+/// Searches for an upper-bound derivation for `p` (see module docs). The
+/// returned certificate has already replayed green under
+/// [`Certificate::verify`].
+///
+/// # Errors
+///
+/// Propagates engine errors; rejects internally inconsistent certificates.
+pub fn autoub(p: &Problem, opts: &SearchOptions) -> Result<Outcome> {
+    let mut s = Search::new(opts);
+    let key = cache_key(p);
+    let (root, _) = s.intern(p.clone(), key, None, 0);
+    let mut goals: Vec<NodeId> = Vec::new();
+    if s.zero(root) {
+        goals.push(root);
+    }
+    let mut frontier = vec![root];
+    let mut depth = 0;
+    while goals.is_empty() && depth < opts.max_steps && !frontier.is_empty() {
+        let mut pool = frontier.clone();
+        if opts.use_relaxations {
+            s.sideways_closure(&mut pool, depth, Direction::Upper, false, &mut goals);
+        }
+        if !goals.is_empty() {
+            break; // a hardening reached a 0-round problem at this depth
+        }
+        let beam = s.steppable_beam(&pool);
+        let (next, _) = s.step_beam(&beam, depth, false, &mut goals);
+        depth += 1;
+        s.stats.depth_reached = depth;
+        frontier = next;
+    }
+    // The shallowest goal wins (BFS by step depth ⇒ the first recorded
+    // goal is at the minimal step depth reached).
+    let Some(&goal) = goals.first() else {
+        return Ok(s.outcome(Verdict::Inconclusive, None));
+    };
+    let rounds = s.meta[goal.index()].depth;
+    let (problems, edges, _) = s.chain_to(goal);
+    let cert = Certificate {
+        direction: Direction::Upper,
+        model: opts.model,
+        problems,
+        edges,
+        verdict: CertVerdict::UpperBound { rounds },
+    };
+    finish(s.outcome(Verdict::UpperBound { rounds }, Some(cert)))
+}
+
+/// Replays the outcome's certificate before handing it to the caller: the
+/// search never returns a bound its own verifier rejects.
+fn finish(outcome: Outcome) -> Result<Outcome> {
+    if let Some(cert) = &outcome.certificate {
+        cert.verify().map_err(|e| roundelim_core::error::Error::Inconsistent {
+            reason: format!("search produced an invalid certificate (bug): {e}"),
+        })?;
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn so3() -> Problem {
+        Problem::parse("name: so\nnode: O O O | O O I | O I I\nedge: O I").unwrap()
+    }
+
+    #[test]
+    fn sinkless_orientation_is_unbounded_without_hand_relaxations() {
+        let out = autolb(&so3(), &SearchOptions::default()).unwrap();
+        assert_eq!(out.verdict, Verdict::Unbounded);
+        let cert = out.certificate.unwrap();
+        cert.verify().unwrap();
+        assert!(cert.steps() >= 1);
+    }
+
+    #[test]
+    fn plain_speedup_mode_finds_the_sinkless_cycle_too() {
+        let opts = SearchOptions { use_relaxations: false, ..SearchOptions::default() };
+        let out = autolb(&so3(), &opts).unwrap();
+        assert_eq!(out.verdict, Verdict::Unbounded);
+    }
+
+    #[test]
+    fn trivial_problem_is_zero_rounds_both_directions() {
+        let t = Problem::parse("name: t\nnode: X X X\nedge: X X").unwrap();
+        let lb = autolb(&t, &SearchOptions::default()).unwrap();
+        assert_eq!(lb.verdict, Verdict::LowerBound { rounds: 0 });
+        let ub = autoub(&t, &SearchOptions::default()).unwrap();
+        assert_eq!(ub.verdict, Verdict::UpperBound { rounds: 0 });
+        ub.certificate.unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        let base =
+            autolb(&so3(), &SearchOptions { threads: 1, ..SearchOptions::default() }).unwrap();
+        for threads in [2, 3, 8] {
+            let out =
+                autolb(&so3(), &SearchOptions { threads, ..SearchOptions::default() }).unwrap();
+            assert_eq!(out.verdict, base.verdict, "threads={threads}");
+            assert_eq!(out.certificate, base.certificate, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn one_round_problem_gets_upper_bound_one() {
+        // Not 0-round solvable (no node config is edge-self-compatible in
+        // any orientation split), but its full step is: upper bound 1.
+        let p = Problem::parse("name: ub1\nnode: A B | A C\nedge: A A | A C | B B").unwrap();
+        let out = autoub(&p, &SearchOptions::default()).unwrap();
+        assert_eq!(out.verdict, Verdict::UpperBound { rounds: 1 });
+        let cert = out.certificate.unwrap();
+        assert_eq!(cert.steps(), 1);
+        cert.verify().unwrap();
+    }
+
+    #[test]
+    fn maximal_matching_needs_a_searched_relaxation() {
+        // Maximal matching at Δ=3: the plain iterated speedup dies on
+        // description growth after 2 steps, but with searched label merges
+        // the chain reaches a third non-0-round step — a strictly better
+        // bound that *requires* a relax edge in its certificate.
+        let mm = roundelim_problems::matching::maximal_matching(3).unwrap();
+        let opts = SearchOptions {
+            max_steps: 6,
+            beam_width: 6,
+            max_labels: 10,
+            ..SearchOptions::default()
+        };
+        let with = autolb(&mm, &opts).unwrap();
+        assert_eq!(with.verdict, Verdict::LowerBound { rounds: 3 });
+        let cert = with.certificate.unwrap();
+        assert!(
+            cert.edges.iter().any(|e| matches!(e, Edge::Relax { .. })),
+            "the depth-3 chain must use a searched relaxation"
+        );
+        let without = autolb(&mm, &SearchOptions { use_relaxations: false, ..opts }).unwrap();
+        assert_eq!(without.verdict, Verdict::LowerBound { rounds: 2 });
+    }
+
+    #[test]
+    fn depth_budget_yields_a_partial_lower_bound() {
+        let opts = SearchOptions { max_steps: 0, ..SearchOptions::default() };
+        let out = autolb(&so3(), &opts).unwrap();
+        assert_eq!(out.verdict, Verdict::LowerBound { rounds: 0 });
+        out.certificate.unwrap().verify().unwrap();
+    }
+}

@@ -1,0 +1,65 @@
+//! Diffs the current `BENCH_speedup.json` against a baseline from a
+//! previous CI run, failing when any case regressed past the threshold.
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json> [--threshold 1.5]
+//! ```
+//!
+//! Exit codes: 0 = no regression, 1 = regression found, 2 = usage/IO error.
+//! Cases present in only one document are reported but never fail the run
+//! (benchmarks get added and retired; the diff polices the shared ones).
+
+use roundelim_bench::diff_benchmarks;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(base_path), Some(cur_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: bench_diff <baseline.json> <current.json> [--threshold X]");
+        return ExitCode::from(2);
+    };
+    let threshold: f64 = match args.iter().position(|a| a == "--threshold") {
+        None => 1.5,
+        Some(ix) => match args.get(ix + 1).and_then(|v| v.parse().ok()) {
+            Some(t) => t,
+            None => {
+                eprintln!("--threshold needs a number");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).map_err(|e| {
+            eprintln!("{p}: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let (baseline, current) = match (read(base_path), read(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    match diff_benchmarks(&baseline, &current, threshold) {
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::from(2)
+        }
+        Ok(report) => {
+            for line in &report.lines {
+                println!("{line}");
+            }
+            for line in &report.unmatched {
+                println!("(unmatched) {line}");
+            }
+            if report.regressions.is_empty() {
+                println!("no regressions past {threshold}x");
+                ExitCode::SUCCESS
+            } else {
+                println!("REGRESSIONS past {threshold}x:");
+                for line in &report.regressions {
+                    println!("  {line}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -8,14 +8,17 @@
 //! * `E1_sinkless_full_step` — Δ = 3..=10
 //! * `E2_coloring_half_step` — k = 3..=6
 //! * `E3_weak2_full_step`    — Δ = 3, 5, 7, 9
+//! * `A1_autolb_sinkless`    — Δ = 3..=6 (full `roundelim-auto` search:
+//!   canonical-form cache, relaxation closure, cycle certificate, verify)
 //!
 //! Keep this fast (seconds, not minutes): it is a smoke job, not a
 //! statistics job. Set `BENCH_SMOKE_OUT` to change the output path.
 
+use roundelim_auto::search::{autolb, SearchOptions, Verdict};
 use roundelim_bench::{calibrate_iters, measure, to_json, Measurement};
 use roundelim_core::speedup::{full_step, half_step_edge};
 use roundelim_problems::coloring::coloring;
-use roundelim_problems::sinkless::sinkless_coloring;
+use roundelim_problems::sinkless::{sinkless_coloring, sinkless_orientation};
 use roundelim_problems::weak::weak_coloring_pointer;
 use std::hint::black_box;
 
@@ -50,6 +53,18 @@ fn main() {
         let p = weak_coloring_pointer(2, delta).expect("valid Δ");
         case(&mut results, "E3_weak2_full_step", delta, || {
             black_box(full_step(&p).expect("no overflow"));
+        });
+    }
+    // The autolb hot path end to end: search (cache + relax closure +
+    // parallel step stage) plus the certificate replay. Single worker so
+    // the number is comparable across differently-sized CI boxes.
+    let opts = SearchOptions { threads: 1, ..SearchOptions::default() };
+    for delta in 3..=6 {
+        let p = sinkless_orientation(delta).expect("valid Δ");
+        case(&mut results, "A1_autolb_sinkless", delta, || {
+            let out = autolb(&p, &opts).expect("search succeeds");
+            assert!(matches!(out.verdict, Verdict::Unbounded), "§4.4 fixed point expected");
+            black_box(out);
         });
     }
 

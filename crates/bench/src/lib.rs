@@ -73,6 +73,80 @@ pub fn to_json(measurements: &[Measurement]) -> String {
     out
 }
 
+/// The outcome of diffing two `BENCH_speedup.json` documents.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// One formatted line per case present in both documents.
+    pub lines: Vec<String>,
+    /// Cases whose `median_ns` grew by more than the threshold factor.
+    pub regressions: Vec<String>,
+    /// Cases only present in one document (new or removed benchmarks).
+    pub unmatched: Vec<String>,
+}
+
+/// Parses a `BENCH_speedup.json` document into `(family, param) → median_ns`.
+fn parse_results(doc: &str) -> Result<Vec<(String, u64, u64)>, String> {
+    let v = roundelim_auto::json::Json::parse(doc)?;
+    let results = v
+        .get("results")
+        .and_then(roundelim_auto::json::Json::as_arr)
+        .ok_or("missing `results` array")?;
+    results
+        .iter()
+        .map(|r| {
+            let family = r
+                .get("family")
+                .and_then(roundelim_auto::json::Json::as_str)
+                .ok_or("case without `family`")?;
+            let param = r
+                .get("param")
+                .and_then(roundelim_auto::json::Json::as_u64)
+                .ok_or("case without `param`")?;
+            let ns = r
+                .get("median_ns")
+                .and_then(roundelim_auto::json::Json::as_u64)
+                .ok_or("case without `median_ns`")?;
+            Ok((family.to_owned(), param, ns))
+        })
+        .collect()
+}
+
+/// Diffs a current `BENCH_speedup.json` against a baseline: a case
+/// *regresses* when `current > baseline × threshold`. Sub-microsecond
+/// baselines are skipped (timer noise dominates them).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed document.
+pub fn diff_benchmarks(
+    baseline: &str,
+    current: &str,
+    threshold: f64,
+) -> Result<DiffReport, String> {
+    let base = parse_results(baseline)?;
+    let cur = parse_results(current)?;
+    let mut report = DiffReport::default();
+    for (family, param, cur_ns) in &cur {
+        match base.iter().find(|(f, p, _)| f == family && p == param) {
+            None => report.unmatched.push(format!("{family}/{param}: new case ({cur_ns} ns)")),
+            Some((_, _, base_ns)) => {
+                let ratio = *cur_ns as f64 / (*base_ns).max(1) as f64;
+                let line = format!("{family}/{param}: {base_ns} ns → {cur_ns} ns ({ratio:.2}x)");
+                if *base_ns >= 1_000 && ratio > threshold {
+                    report.regressions.push(line.clone());
+                }
+                report.lines.push(line);
+            }
+        }
+    }
+    for (family, param, base_ns) in &base {
+        if !cur.iter().any(|(f, p, _)| f == family && p == param) {
+            report.unmatched.push(format!("{family}/{param}: removed (was {base_ns} ns)"));
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +165,38 @@ mod tests {
     fn calibrate_clamps() {
         let iters = calibrate_iters(1_000_000, || std::thread::sleep(std::time::Duration::ZERO));
         assert!((1..=10_000).contains(&iters));
+    }
+
+    #[test]
+    fn diff_flags_only_real_regressions() {
+        let mk = |ns_a: u64, ns_b: u64| {
+            to_json(&[
+                Measurement { family: "E1".into(), param: 3, median_ns: ns_a, iters: 10 },
+                Measurement { family: "E3".into(), param: 9, median_ns: ns_b, iters: 10 },
+            ])
+        };
+        // 1.2x growth on a ms-scale case: within a 1.5x threshold.
+        let ok = diff_benchmarks(&mk(10_000, 1_000_000), &mk(12_000, 1_100_000), 1.5).unwrap();
+        assert!(ok.regressions.is_empty(), "{:?}", ok.regressions);
+        assert_eq!(ok.lines.len(), 2);
+        // 3x growth: flagged.
+        let bad = diff_benchmarks(&mk(10_000, 1_000_000), &mk(30_000, 1_000_000), 1.5).unwrap();
+        assert_eq!(bad.regressions.len(), 1);
+        assert!(bad.regressions[0].contains("E1/3"), "{:?}", bad.regressions);
+        // Sub-µs baselines are never flagged (noise).
+        let noisy = diff_benchmarks(&mk(500, 1_000_000), &mk(5_000, 1_000_000), 1.5).unwrap();
+        assert!(noisy.regressions.is_empty());
+    }
+
+    #[test]
+    fn diff_reports_new_and_removed_cases() {
+        let base =
+            to_json(&[Measurement { family: "E1".into(), param: 3, median_ns: 10, iters: 1 }]);
+        let cur =
+            to_json(&[Measurement { family: "A1".into(), param: 3, median_ns: 10, iters: 1 }]);
+        let report = diff_benchmarks(&base, &cur, 1.5).unwrap();
+        assert_eq!(report.unmatched.len(), 2);
+        assert!(diff_benchmarks("not json", &cur, 1.5).is_err());
     }
 
     #[test]

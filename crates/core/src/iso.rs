@@ -14,7 +14,7 @@ use crate::problem::Problem;
 
 /// A label's occurrence profile in the node and edge constraints; see
 /// [`signature`].
-type LabelSignature = (Vec<(usize, usize)>, Vec<(usize, usize)>);
+pub type LabelSignature = (Vec<(usize, usize)>, Vec<(usize, usize)>);
 
 /// The canonical `(node, edge)` image computed by [`canonical_key`].
 pub type CanonicalKey = (Vec<Vec<usize>>, Vec<Vec<usize>>);
@@ -146,6 +146,99 @@ pub fn are_isomorphic(a: &Problem, b: &Problem) -> bool {
     isomorphism(a, b).is_some()
 }
 
+/// Checks a *claimed* isomorphism witness instead of searching for one:
+/// `map[l.index()]` must be a bijection from `a`'s labels onto `b`'s that
+/// carries `a`'s node and edge constraints exactly onto `b`'s.
+///
+/// This is the certificate-replay hook: an independent verifier re-checks a
+/// recorded witness in polynomial time, without re-running the isomorphism
+/// search that produced it.
+pub fn check_isomorphism(a: &Problem, b: &Problem, map: &[Label]) -> bool {
+    let n = a.alphabet().len();
+    if map.len() != n || b.alphabet().len() != n {
+        return false;
+    }
+    let mut used = vec![false; n];
+    for &t in map {
+        if t.index() >= n || used[t.index()] {
+            return false;
+        }
+        used[t.index()] = true;
+    }
+    let mapping: Vec<Option<Label>> = map.iter().map(|&l| Some(l)).collect();
+    check_full(a, b, &mapping)
+}
+
+/// The sorted multiset of per-label signatures: an isomorphism *invariant*
+/// (isomorphic problems always agree on it) that is much cheaper than
+/// [`canonical_key`] — one pass over the constraints instead of a
+/// permutation enumeration. Not *complete*: distinct problems can collide,
+/// so a cache keyed by this profile must resolve collisions with
+/// [`are_isomorphic`]. This is what makes canonical-form dedup affordable
+/// for the large, symmetric alphabets the speedup transform produces.
+pub fn signature_profile(p: &Problem) -> Vec<LabelSignature> {
+    let mut sigs: Vec<LabelSignature> = p.alphabet().labels().map(|l| signature(p, l)).collect();
+    sigs.sort_unstable();
+    sigs
+}
+
+/// Alphabet size up to which [`dedup_key`] uses the exact
+/// [`canonical_key`]. The canonical enumeration visits every
+/// signature-respecting renaming — factorial in the largest
+/// same-signature label group — so 9 fully symmetric labels (≤ 9!
+/// renamings) is the largest size that stays sub-millisecond; measured
+/// cost at 16 symmetric labels is already tens of milliseconds per key.
+const CANON_MAX_LABELS: usize = 9;
+
+/// An isomorphism-dedup key: exact canonical form for small alphabets, the
+/// cheap [`signature_profile`] invariant above [`CANON_MAX_LABELS`].
+///
+/// Two isomorphic problems always produce equal keys. For
+/// [`DedupKey::Exact`] the converse holds too; [`DedupKey::Coarse`] keys
+/// may collide across non-isomorphic problems, so a map keyed by
+/// `DedupKey` must resolve coarse-bucket collisions with
+/// [`are_isomorphic`] (see [`DedupKey::is_exact`]). Problems with
+/// different label counts never share a key of either kind.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DedupKey {
+    /// Exact: equal keys ⇔ isomorphic problems.
+    Exact(CanonicalKey),
+    /// Invariant only: isomorphic problems collide for sure, distinct
+    /// problems may too.
+    Coarse {
+        /// Node-constraint arity (Δ).
+        delta: usize,
+        /// Edge-constraint arity.
+        arity: usize,
+        /// `(|node|, |edge|)` configuration counts.
+        sizes: (usize, usize),
+        /// Sorted per-label signature multiset.
+        profile: Vec<LabelSignature>,
+    },
+}
+
+impl DedupKey {
+    /// Whether equal keys imply isomorphism (no collision check needed).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, DedupKey::Exact(_))
+    }
+}
+
+/// Computes the [`DedupKey`] of a problem: the affordable way to key a
+/// problems-up-to-isomorphism map at any alphabet size.
+pub fn dedup_key(p: &Problem) -> DedupKey {
+    if p.alphabet().len() <= CANON_MAX_LABELS {
+        DedupKey::Exact(canonical_key(p))
+    } else {
+        DedupKey::Coarse {
+            delta: p.delta(),
+            arity: p.edge().arity(),
+            sizes: (p.node().len(), p.edge().len()),
+            profile: signature_profile(p),
+        }
+    }
+}
+
 /// A canonical key for a problem, equal for isomorphic problems.
 ///
 /// Computed by trying all signature-respecting renamings and keeping the
@@ -250,6 +343,28 @@ mod tests {
         assert_eq!(canonical_key(&p), canonical_key(&q));
         let r = Problem::parse("name: r\nnode: B A A\nedge: A A | B B").unwrap();
         assert_ne!(canonical_key(&p), canonical_key(&r));
+    }
+
+    #[test]
+    fn dedup_key_invariant_under_renaming_in_both_regimes() {
+        // Small alphabet: exact regime.
+        let p = Problem::parse("name: p\nnode: 1 0 0\nedge: 0 0 | 0 1").unwrap();
+        let q = Problem::parse("name: q\nnode: B A A\nedge: A A | B A").unwrap();
+        assert!(dedup_key(&p).is_exact());
+        assert_eq!(dedup_key(&p), dedup_key(&q));
+        // Large alphabet (> CANON_MAX_LABELS): coarse regime still matches
+        // across renamings, and differs across label counts.
+        let names: Vec<String> = (0..12).map(|i| format!("l{i}")).collect();
+        let mk = |names: &[String]| {
+            let node = names.chunks(2).map(|c| c.join(" ")).collect::<Vec<_>>().join(" | ");
+            let edge = names.windows(2).map(|c| c.join(" ")).collect::<Vec<_>>().join(" | ");
+            Problem::parse(&format!("name: big\nnode: {node}\nedge: {edge}")).unwrap()
+        };
+        let renamed: Vec<String> = (0..12).map(|i| format!("x{i}")).collect();
+        let big = mk(&names);
+        assert!(!dedup_key(&big).is_exact());
+        assert_eq!(dedup_key(&big), dedup_key(&mk(&renamed)));
+        assert_ne!(dedup_key(&big), dedup_key(&p));
     }
 
     #[test]

@@ -106,6 +106,27 @@ pub fn is_relaxation_of(from: &Problem, to: &Problem) -> bool {
     relaxation_map(from, to).is_some()
 }
 
+/// Checks a *claimed* relaxation witness instead of searching for one:
+/// `map[l.index()]` (one `to`-label per `from`-label) must carry every node
+/// and edge configuration of `from` into one of `to`.
+///
+/// This is the certificate-replay hook: an independent verifier re-checks a
+/// recorded witness in polynomial time, without re-running the witness
+/// search that produced it.
+pub fn check_relaxation(from: &Problem, to: &Problem, map: &[Label]) -> bool {
+    if from.delta() != to.delta()
+        || from.edge().arity() != to.edge().arity()
+        || map.len() != from.alphabet().len()
+        || map.iter().any(|l| l.index() >= to.alphabet().len())
+    {
+        return false;
+    }
+    let check = |ca: &crate::constraint::Constraint, cb: &crate::constraint::Constraint| -> bool {
+        ca.iter().all(|cfg| cb.contains(&cfg.map(|l| map[l.index()])))
+    };
+    check(from.node(), to.node()) && check(from.edge(), to.edge())
+}
+
 /// Whether the two problems are mutually relaxable (0-round equivalent):
 /// each simulates the other by a label map. Weaker than isomorphism.
 pub fn are_zero_round_equivalent(a: &Problem, b: &Problem) -> bool {

@@ -9,10 +9,44 @@
 //! sinkless orientation).
 
 use crate::error::Result;
-use crate::iso::are_isomorphic;
+use crate::iso::{are_isomorphic, dedup_key, DedupKey};
 use crate::problem::Problem;
 use crate::speedup::full_step;
 use crate::zero_round::{zero_round_oriented, zero_round_pn};
+use std::collections::HashMap;
+
+/// A problems-seen-so-far index for fixed-point detection: a
+/// [`dedup_key`]-keyed map from isomorphism class to the step at which it
+/// first appeared. One canonicalization (or cheap invariant, above the
+/// exact-key size cap) and one hash probe per step replaces the old
+/// pairwise `are_isomorphic` scan over the whole history; coarse-bucket
+/// collisions fall back to an isomorphism check against the few bucket
+/// members.
+#[derive(Default)]
+struct SeenIndex {
+    buckets: HashMap<DedupKey, Vec<usize>>,
+}
+
+impl SeenIndex {
+    /// If a problem isomorphic to `p` was recorded, returns its step;
+    /// otherwise records `p` under `step`. `history(i)` resolves a
+    /// recorded step back to its problem for coarse-bucket checks.
+    fn find_or_insert<'a>(
+        &mut self,
+        p: &Problem,
+        step: usize,
+        history: impl Fn(usize) -> &'a Problem,
+    ) -> Option<usize> {
+        let key = dedup_key(p);
+        let exact = key.is_exact();
+        let bucket = self.buckets.entry(key).or_default();
+        let hit = bucket.iter().copied().find(|&i| exact || are_isomorphic(history(i), p));
+        if hit.is_none() {
+            bucket.push(step);
+        }
+        hit
+    }
+}
 
 /// Which 0-round decider terminates the iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,6 +149,8 @@ pub fn iterate_with(
     if is_zero_round(p, model) {
         return Ok(SpeedupSequence { problems, stop: StopReason::ZeroRound { index: 0 }, model });
     }
+    let mut seen = SeenIndex::default();
+    seen.find_or_insert(p, 0, |_| unreachable!("empty index has no hits"));
     for step in 1..=max_steps {
         let next = full_step(problems.last().expect("nonempty"))?.problem().clone();
         // Zero-round check first: a 0-round problem may also be periodic.
@@ -126,8 +162,8 @@ pub fn iterate_with(
                 model,
             });
         }
-        // Fixed-point check against all earlier problems.
-        if let Some(earlier) = problems.iter().position(|q| are_isomorphic(q, &next)) {
+        // Fixed-point check against all earlier problems, one probe per step.
+        if let Some(earlier) = seen.find_or_insert(&next, step, |i| &problems[i]) {
             problems.push(next);
             return Ok(SpeedupSequence {
                 problems,
@@ -196,6 +232,9 @@ pub fn iterate_relaxed(
     if is_zero_round(p, model) {
         return Ok(RelaxedSequence { entries, stop: StopReason::ZeroRound { index: 0 } });
     }
+    // Same dedup-keyed fixed-point index as `iterate_with`.
+    let mut seen = SeenIndex::default();
+    seen.find_or_insert(p, 0, |_| unreachable!("empty index has no hits"));
     for step in 1..=max_steps {
         let current = entries.last().expect("nonempty").problem.clone();
         let derived = full_step(&current)?.problem().clone();
@@ -210,7 +249,7 @@ pub fn iterate_relaxed(
             entries.push(RelaxedEntry { problem: next, template });
             return Ok(RelaxedSequence { entries, stop: StopReason::ZeroRound { index: step } });
         }
-        if let Some(earlier) = entries.iter().position(|e| are_isomorphic(&e.problem, &next)) {
+        if let Some(earlier) = seen.find_or_insert(&next, step, |i| &entries[i].problem) {
             entries.push(RelaxedEntry { problem: next, template });
             return Ok(RelaxedSequence {
                 entries,

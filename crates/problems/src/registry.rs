@@ -93,6 +93,34 @@ pub fn families() -> &'static [Family] {
     ]
 }
 
+/// One instance of the sweep batch automated tooling runs over the zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Family name, resolvable via [`family`].
+    pub family: &'static str,
+    /// The `k` parameter (0 for families that ignore it).
+    pub k: usize,
+    /// The degree Δ.
+    pub delta: usize,
+}
+
+/// The default instances `roundelim autolb --sweep` (and the CI smoke job)
+/// run: small enough to finish in seconds each, spread across the zoo's
+/// behavior spectrum (fixed points, searched-relaxation bounds, and
+/// description blow-ups the search must survive).
+pub fn sweep_specs() -> &'static [SweepSpec] {
+    &[
+        SweepSpec { family: "sinkless-orientation", k: 0, delta: 3 },
+        SweepSpec { family: "sinkless-coloring", k: 0, delta: 3 },
+        SweepSpec { family: "sinkless-orientation", k: 0, delta: 4 },
+        SweepSpec { family: "coloring", k: 3, delta: 2 },
+        SweepSpec { family: "coloring", k: 4, delta: 2 },
+        SweepSpec { family: "perfect-matching", k: 0, delta: 3 },
+        SweepSpec { family: "maximal-matching", k: 0, delta: 3 },
+        SweepSpec { family: "mis", k: 0, delta: 3 },
+    ]
+}
+
 /// Looks up a family by name.
 ///
 /// # Errors
@@ -123,6 +151,15 @@ mod tests {
     fn lookup_by_name() {
         assert_eq!(family("mis").unwrap().name, "mis");
         assert!(family("nope").is_err());
+    }
+
+    #[test]
+    fn sweep_specs_all_instantiate() {
+        for s in sweep_specs() {
+            let f = family(s.family).unwrap_or_else(|e| panic!("{}: {e}", s.family));
+            let p = f.instantiate(s.k, s.delta).unwrap_or_else(|e| panic!("{}: {e}", s.family));
+            assert_eq!(p.delta(), s.delta);
+        }
     }
 
     #[test]

@@ -4,9 +4,18 @@
 //! ```text
 //! roundelim zoo                          list the problem families
 //! roundelim show <family> [k] [Δ]        print a family instance
-//! roundelim speedup <file|family:k:Δ>    one speedup step, with provenance
-//! roundelim iterate <file|family:k:Δ> [--steps N]
-//!                                        iterate to a verdict (§2.1 roadmap)
+//! roundelim speedup <file|family:k:Δ> [--json]
+//!                                        one speedup step, with provenance
+//! roundelim iterate <file|family:k:Δ> [--steps N] [--relax FILE]... [--json]
+//!                                        iterate to a verdict (§2.1 roadmap),
+//!                                        relaxing to templates when given
+//! roundelim autolb <file|family:k:Δ> [--steps N] [--beam N] [--max-labels N]
+//!                  [--threads N] [--no-relax] [--cert FILE] [--json]
+//!                                        automated lower-bound search
+//! roundelim autolb --sweep [--json]      autolb over the registry sweep set
+//! roundelim autoub <file|family:k:Δ> [same flags as autolb]
+//!                                        automated upper-bound search (§4.5)
+//! roundelim cert verify <file> [--json]  independently replay a certificate
 //! roundelim zero-round <file|family:k:Δ> both 0-round deciders
 //! roundelim iso <fileA> <fileB>          isomorphism check
 //! roundelim relax <fileA> <fileB>        relaxation witness A ⟶ B
@@ -17,14 +26,17 @@
 //! `coloring:3:2` or `sinkless-orientation::4` (empty k for families that
 //! ignore it).
 
+use roundelim::auto::json::Json;
+use roundelim::auto::search::{autolb, autoub, Outcome, SearchOptions, Verdict};
+use roundelim::auto::Certificate;
 use roundelim::core::fmt::{problem_table, sequence_report, step_report};
 use roundelim::core::iso::isomorphism;
 use roundelim::core::problem::Problem;
 use roundelim::core::relax::relaxation_map;
-use roundelim::core::sequence::iterate;
+use roundelim::core::sequence::{iterate, iterate_relaxed, StopReason, ZeroRoundModel};
 use roundelim::core::speedup::full_step;
 use roundelim::core::zero_round::{zero_round_oriented, zero_round_pn};
-use roundelim::problems::registry::{families, family};
+use roundelim::problems::registry::{families, family, sweep_specs};
 use std::process::ExitCode;
 
 fn load(spec: &str) -> Result<Problem, String> {
@@ -49,12 +61,45 @@ fn load(spec: &str) -> Result<Problem, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  roundelim zoo\n  roundelim show <family> [k] [Δ]\n  \
-         roundelim speedup <file|family:k:Δ>\n  \
-         roundelim iterate <file|family:k:Δ> [--steps N]\n  \
+         roundelim speedup <file|family:k:Δ> [--json]\n  \
+         roundelim iterate <file|family:k:Δ> [--steps N] [--relax FILE]... [--json]\n  \
+         roundelim autolb <file|family:k:Δ|--sweep> [--steps N] [--beam N] \
+         [--max-labels N] [--threads N] [--no-relax] [--cert FILE] [--json]\n  \
+         roundelim autoub <file|family:k:Δ> [autolb flags]\n  \
+         roundelim cert verify <file> [--json]\n  \
          roundelim zero-round <file|family:k:Δ>\n  \
          roundelim iso <fileA> <fileB>\n  roundelim relax <fileA> <fileB>"
     );
     ExitCode::from(2)
+}
+
+/// The value following `--flag`, parsed.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(ix) => args
+            .get(ix + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag} needs a valid value")),
+    }
+}
+
+/// All values of a repeatable `--flag VALUE` pair.
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Result<Vec<&'a String>, String> {
+    let mut out = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(a) = iter.next() {
+        if a == flag {
+            out.push(iter.next().ok_or_else(|| format!("{flag} needs a value"))?);
+        }
+    }
+    Ok(out)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 fn main() -> ExitCode {
@@ -65,6 +110,9 @@ fn main() -> ExitCode {
         "show" => cmd_show(&args[1..]),
         "speedup" => cmd_speedup(&args[1..]),
         "iterate" => cmd_iterate(&args[1..]),
+        "autolb" => cmd_auto(&args[1..], true),
+        "autoub" => cmd_auto(&args[1..], false),
+        "cert" => cmd_cert(&args[1..]),
         "zero-round" => cmd_zero_round(&args[1..]),
         "iso" => cmd_iso(&args[1..]),
         "relax" => cmd_relax(&args[1..]),
@@ -102,24 +150,289 @@ fn cmd_speedup(args: &[String]) -> Result<(), String> {
     let spec = args.first().ok_or("speedup: missing problem spec")?;
     let p = load(spec)?;
     let step = full_step(&p).map_err(|e| e.to_string())?;
-    print!("{}", step_report(&p, &step));
+    if has_flag(args, "--json") {
+        let doc = Json::obj([
+            ("base", Json::Str(p.to_text())),
+            ("half_step", Json::Str(step.half.problem.to_text())),
+            ("full_step", Json::Str(step.full.problem.to_text())),
+            ("labels", Json::Num(step.full.problem.alphabet().len() as u64)),
+            ("node_configs", Json::Num(step.full.problem.node().len() as u64)),
+            ("edge_configs", Json::Num(step.full.problem.edge().len() as u64)),
+        ]);
+        print!("{}", doc.to_string_pretty());
+    } else {
+        print!("{}", step_report(&p, &step));
+    }
     Ok(())
+}
+
+fn stop_reason_json(stop: &StopReason) -> Json {
+    match stop {
+        StopReason::ZeroRound { index } => Json::obj([
+            ("kind", Json::Str("zero-round".into())),
+            ("index", Json::Num(*index as u64)),
+        ]),
+        StopReason::FixedPoint { index, earlier } => Json::obj([
+            ("kind", Json::Str("fixed-point".into())),
+            ("index", Json::Num(*index as u64)),
+            ("earlier", Json::Num(*earlier as u64)),
+        ]),
+        StopReason::LimitReached => Json::obj([("kind", Json::Str("limit-reached".into()))]),
+    }
+}
+
+fn bound_json(bound: Option<usize>) -> Json {
+    bound.map_or(Json::Null, |b| Json::Num(b as u64))
 }
 
 fn cmd_iterate(args: &[String]) -> Result<(), String> {
     let spec = args.first().ok_or("iterate: missing problem spec")?;
     let p = load(spec)?;
-    let steps = match args.iter().position(|a| a == "--steps") {
-        Some(ix) => args
-            .get(ix + 1)
-            .ok_or("--steps needs a value")?
-            .parse()
-            .map_err(|_| "--steps needs an integer".to_string())?,
-        None => 8,
-    };
-    let seq = iterate(&p, steps).map_err(|e| e.to_string())?;
-    print!("{}", sequence_report(&seq));
+    let steps = flag_value::<usize>(args, "--steps")?.unwrap_or(8);
+    let templates: Vec<Problem> =
+        flag_values(args, "--relax")?.into_iter().map(|f| load(f)).collect::<Result<_, _>>()?;
+    let json = has_flag(args, "--json");
+    if templates.is_empty() {
+        let seq = iterate(&p, steps).map_err(|e| e.to_string())?;
+        if json {
+            let doc = Json::obj([
+                (
+                    "problems",
+                    Json::Arr(seq.problems.iter().map(|q| Json::Str(q.to_text())).collect()),
+                ),
+                ("stop", stop_reason_json(&seq.stop)),
+                ("lower_bound", bound_json(seq.certified_lower_bound())),
+            ]);
+            print!("{}", doc.to_string_pretty());
+        } else {
+            print!("{}", sequence_report(&seq));
+        }
+        return Ok(());
+    }
+    // §2.1's relax-then-speedup alternation, with the supplied templates.
+    let seq = iterate_relaxed(&p, &templates, steps, ZeroRoundModel::Oriented)
+        .map_err(|e| e.to_string())?;
+    if json {
+        let entries = seq
+            .entries
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("problem", Json::Str(e.problem.to_text())),
+                    ("template", e.template.map_or(Json::Null, |t| Json::Num(t as u64))),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("entries", Json::Arr(entries)),
+            ("stop", stop_reason_json(&seq.stop)),
+            ("lower_bound", bound_json(seq.certified_lower_bound())),
+        ]);
+        print!("{}", doc.to_string_pretty());
+    } else {
+        for (i, e) in seq.entries.iter().enumerate() {
+            let via = match e.template {
+                Some(t) => format!("  (relaxed to template #{t})"),
+                None => String::new(),
+            };
+            println!("Π_{i}: {}{via}", e.problem.summary());
+        }
+        match &seq.stop {
+            StopReason::ZeroRound { index } => {
+                println!("verdict: Π_{index} is 0-round solvable ⇒ lower bound {index}");
+            }
+            StopReason::FixedPoint { index, earlier } => {
+                println!(
+                    "verdict: Π_{index} ≅ Π_{earlier} ⇒ fixed point; no 0-round problem is \
+                     ever reached"
+                );
+            }
+            StopReason::LimitReached => {
+                println!(
+                    "verdict: inconclusive after {} steps (lower bound {} certified)",
+                    seq.entries.len() - 1,
+                    seq.entries.len() - 1
+                );
+            }
+        }
+    }
     Ok(())
+}
+
+fn verdict_json(v: &Verdict) -> Json {
+    match v {
+        Verdict::Unbounded => Json::obj([("kind", Json::Str("unbounded".into()))]),
+        Verdict::LowerBound { rounds } => Json::obj([
+            ("kind", Json::Str("lower-bound".into())),
+            ("rounds", Json::Num(*rounds as u64)),
+        ]),
+        Verdict::UpperBound { rounds } => Json::obj([
+            ("kind", Json::Str("upper-bound".into())),
+            ("rounds", Json::Num(*rounds as u64)),
+        ]),
+        Verdict::Inconclusive => Json::obj([("kind", Json::Str("inconclusive".into()))]),
+    }
+}
+
+fn outcome_json(name: &str, out: &Outcome) -> Json {
+    Json::obj([
+        ("problem", Json::Str(name.to_owned())),
+        ("verdict", verdict_json(&out.verdict)),
+        ("certificate", out.certificate.as_ref().map_or(Json::Null, Certificate::json_value)),
+        (
+            "stats",
+            Json::obj([
+                ("expanded", Json::Num(out.stats.expanded as u64)),
+                ("step_failures", Json::Num(out.stats.step_failures as u64)),
+                ("depth_reached", Json::Num(out.stats.depth_reached as u64)),
+                ("classes", Json::Num(out.stats.cache.classes as u64)),
+                ("dedup_hits", Json::Num(out.stats.cache.dedup_hits as u64)),
+                ("step_hits", Json::Num(out.stats.cache.step_hits as u64)),
+            ]),
+        ),
+    ])
+}
+
+fn describe_outcome(name: &str, out: &Outcome) -> String {
+    let verdict = match &out.verdict {
+        Verdict::Unbounded => "UNBOUNDED (speedup fixed point: the lower bound exceeds every t \
+                               admitting a t-independent girth-(2t+2) class)"
+            .to_owned(),
+        Verdict::LowerBound { rounds } => format!("lower bound {rounds} rounds"),
+        Verdict::UpperBound { rounds } => format!("upper bound {rounds} rounds"),
+        Verdict::Inconclusive => "inconclusive (budget exhausted)".to_owned(),
+    };
+    let mut s = format!("{name}: {verdict}\n");
+    if let Some(cert) = &out.certificate {
+        s.push_str(&format!("  certificate: {} (replayed green)\n", cert.summary()));
+        for (i, e) in cert.edges.iter().enumerate() {
+            let kind = match e {
+                roundelim::auto::Edge::Step => "step (1 round of speedup)".to_owned(),
+                roundelim::auto::Edge::Relax { .. } => "relax (searched label merge)".to_owned(),
+                roundelim::auto::Edge::Harden { .. } => "harden (searched restriction)".to_owned(),
+            };
+            s.push_str(&format!("    Π_{i} → Π_{}: {kind}\n", i + 1));
+        }
+    }
+    s.push_str(&format!(
+        "  search: {} classes, {} expansions, {} dead ends, depth {}\n",
+        out.stats.cache.classes,
+        out.stats.expanded,
+        out.stats.step_failures,
+        out.stats.depth_reached
+    ));
+    s
+}
+
+fn search_options(args: &[String]) -> Result<SearchOptions, String> {
+    let mut opts = SearchOptions::default();
+    if let Some(v) = flag_value(args, "--steps")? {
+        opts.max_steps = v;
+    }
+    if let Some(v) = flag_value(args, "--beam")? {
+        opts.beam_width = v;
+    }
+    if let Some(v) = flag_value(args, "--max-labels")? {
+        opts.max_labels = v;
+    }
+    if let Some(v) = flag_value(args, "--threads")? {
+        opts.threads = v;
+    }
+    if has_flag(args, "--no-relax") {
+        opts.use_relaxations = false;
+    }
+    Ok(opts)
+}
+
+fn cmd_auto(args: &[String], lower: bool) -> Result<(), String> {
+    let opts = search_options(args)?;
+    let json = has_flag(args, "--json");
+    let run = |p: &Problem| -> Result<Outcome, String> {
+        let r = if lower { autolb(p, &opts) } else { autoub(p, &opts) };
+        r.map_err(|e| e.to_string())
+    };
+    if has_flag(args, "--sweep") {
+        if !lower {
+            return Err("autoub: --sweep is only available for autolb".to_owned());
+        }
+        if has_flag(args, "--cert") {
+            return Err("--cert writes one certificate and --sweep produces many; run the \
+                 families individually to export certificates"
+                .to_owned());
+        }
+        let mut docs = Vec::new();
+        for s in sweep_specs() {
+            let f = family(s.family).map_err(|e| e.to_string())?;
+            let p = f.instantiate(s.k, s.delta).map_err(|e| e.to_string())?;
+            let name = format!("{}:{}:{}", s.family, s.k, s.delta);
+            let out = run(&p)?;
+            if json {
+                docs.push(outcome_json(&name, &out));
+            } else {
+                print!("{}", describe_outcome(&name, &out));
+            }
+        }
+        if json {
+            print!("{}", Json::Arr(docs).to_string_pretty());
+        }
+        return Ok(());
+    }
+    let spec =
+        args.iter().find(|a| !a.starts_with("--") && !is_flag_value(args, a)).ok_or(if lower {
+            "autolb: missing problem spec"
+        } else {
+            "autoub: missing problem spec"
+        })?;
+    let p = load(spec)?;
+    let out = run(&p)?;
+    if let Some(path) = flag_values(args, "--cert")?.first() {
+        let cert =
+            out.certificate.as_ref().ok_or("no certificate to write (verdict is inconclusive)")?;
+        std::fs::write(path, cert.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        if !json {
+            println!("wrote certificate to {path}");
+        }
+    }
+    if json {
+        print!("{}", outcome_json(p.name(), &out).to_string_pretty());
+    } else {
+        print!("{}", describe_outcome(p.name(), &out));
+    }
+    Ok(())
+}
+
+/// Whether `arg` is the value of some `--flag VALUE` pair (so positional
+/// scanning skips it).
+fn is_flag_value(args: &[String], arg: &String) -> bool {
+    const VALUED: [&str; 5] = ["--steps", "--beam", "--max-labels", "--threads", "--cert"];
+    args.iter()
+        .zip(args.iter().skip(1))
+        .any(|(f, v)| VALUED.contains(&f.as_str()) && std::ptr::eq(v, arg))
+}
+
+fn cmd_cert(args: &[String]) -> Result<(), String> {
+    let sub = args.first().map(String::as_str);
+    if sub != Some("verify") {
+        return Err("cert: the only subcommand is `cert verify <file>`".to_owned());
+    }
+    let path = args.get(1).ok_or("cert verify: missing certificate file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let cert = Certificate::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let result = cert.verify();
+    if has_flag(args, "--json") {
+        let doc = Json::obj([
+            ("valid", Json::Bool(result.is_ok())),
+            ("summary", Json::Str(cert.summary())),
+            ("error", result.as_ref().err().map_or(Json::Null, |e| Json::Str(e.reason.clone()))),
+        ]);
+        print!("{}", doc.to_string_pretty());
+    } else {
+        match &result {
+            Ok(()) => println!("VALID: {} — replayed green", cert.summary()),
+            Err(e) => println!("INVALID: {e}"),
+        }
+    }
+    result.map_err(|e| e.to_string())
 }
 
 fn cmd_zero_round(args: &[String]) -> Result<(), String> {

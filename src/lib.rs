@@ -8,6 +8,8 @@
 //!
 //! * [`core`] — problem representation and the speedup engine (Thm 1–2),
 //!   zero-round deciders, isomorphism, relaxations, iterated sequences.
+//! * [`auto`] — the automated lower/upper-bound search (`autolb`/`autoub`)
+//!   with canonical-form caching and replayable certificates.
 //! * [`problems`] — a zoo of locally checkable problems (coloring, sinkless
 //!   orientation, weak/superweak coloring, matchings, MIS, …).
 //! * [`superweak`] — the Section 5 pipeline: Lemmas 1–4 and the Ω(log* Δ)
@@ -29,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use roundelim_auto as auto;
 pub use roundelim_core as core;
 pub use roundelim_problems as problems;
 pub use roundelim_sim as sim;

@@ -85,3 +85,109 @@ fn bad_input_fails_cleanly() {
     let out = cli().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+fn tmp_dir() -> std::path::PathBuf {
+    // Unique per test process: concurrent suite runs (parallel CI jobs,
+    // shared build boxes) must not tamper with each other's fixtures.
+    let dir = std::env::temp_dir().join(format!("roundelim-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn autolb_rediscovers_the_sinkless_fixed_point_and_cert_verifies() {
+    // §4.4 end to end with no hand-supplied relaxations: autolb finds the
+    // fixed point, writes a certificate, and `cert verify` independently
+    // replays it from disk.
+    let cert = tmp_dir().join("so3.cert.json");
+    let out = run_ok(&["autolb", "sinkless-orientation::3", "--cert", cert.to_str().unwrap()]);
+    assert!(out.contains("UNBOUNDED"), "{out}");
+    assert!(out.contains("replayed green"), "{out}");
+    let out = run_ok(&["cert", "verify", cert.to_str().unwrap()]);
+    assert!(out.contains("VALID"), "{out}");
+    assert!(out.contains("unbounded lower bound"), "{out}");
+}
+
+#[test]
+fn autolb_uses_searched_relaxations_on_maximal_matching() {
+    let args =
+        ["autolb", "maximal-matching::3", "--steps", "6", "--beam", "6", "--max-labels", "10"];
+    let out = run_ok(&args);
+    assert!(out.contains("lower bound 3 rounds"), "{out}");
+    assert!(out.contains("relax (searched label merge)"), "{out}");
+}
+
+#[test]
+fn autolb_json_embeds_the_certificate() {
+    let out = run_ok(&["autolb", "sinkless-orientation::3", "--json"]);
+    assert!(out.contains("\"kind\": \"unbounded\""), "{out}");
+    assert!(out.contains("\"schema\": \"roundelim-cert-v1\""), "{out}");
+    assert!(out.contains("\"classes\""), "{out}");
+}
+
+#[test]
+fn autolb_sweep_covers_the_registry_batch() {
+    let out = run_ok(&["autolb", "--sweep", "--steps", "3", "--beam", "4", "--max-labels", "8"]);
+    for family in ["sinkless-orientation:0:3", "coloring:3:2", "maximal-matching:0:3"] {
+        assert!(out.contains(family), "missing {family} in:\n{out}");
+    }
+    assert!(out.contains("UNBOUNDED"), "{out}");
+}
+
+#[test]
+fn autoub_certifies_a_one_round_problem() {
+    let file = tmp_dir().join("ub1.problem");
+    std::fs::write(&file, "name: ub1\nnode: A B | A C\nedge: A A | A C | B B\n").unwrap();
+    let out = run_ok(&["autoub", file.to_str().unwrap()]);
+    assert!(out.contains("upper bound 1 rounds"), "{out}");
+    assert!(out.contains("replayed green"), "{out}");
+}
+
+#[test]
+fn corrupted_certificate_is_rejected_with_failure_exit() {
+    let cert = tmp_dir().join("corrupt.cert.json");
+    run_ok(&["autolb", "sinkless-orientation::3", "--cert", cert.to_str().unwrap()]);
+    // Inflate the claim: swap the recorded cycle start out of range.
+    let text = std::fs::read_to_string(&cert).unwrap();
+    let tampered = text.replace("\"cycle_start\": 1", "\"cycle_start\": 999");
+    assert_ne!(text, tampered, "fixture must actually change the certificate");
+    std::fs::write(&cert, tampered).unwrap();
+    let out = cli().args(["cert", "verify", cert.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success(), "tampered certificate must fail verification");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INVALID"));
+    // --json reports the same verdict machine-readably.
+    let out = cli().args(["cert", "verify", cert.to_str().unwrap(), "--json"]).output().unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"valid\": false"));
+}
+
+#[test]
+fn iterate_accepts_relaxation_templates() {
+    let file = tmp_dir().join("sc-template-relax.problem");
+    std::fs::write(&file, "name: sc\nnode: 1 0 0\nedge: 0 0 | 0 1\n").unwrap();
+    let out = run_ok(&[
+        "iterate",
+        "sinkless-coloring::3",
+        "--relax",
+        file.to_str().unwrap(),
+        "--steps",
+        "5",
+    ]);
+    assert!(out.contains("relaxed to template #0"), "{out}");
+    assert!(out.contains("fixed point"), "{out}");
+}
+
+#[test]
+fn speedup_and_iterate_emit_json() {
+    let out = run_ok(&["speedup", "sinkless-coloring::3", "--json"]);
+    for key in ["\"base\"", "\"half_step\"", "\"full_step\"", "\"labels\""] {
+        assert!(out.contains(key), "missing {key} in:\n{out}");
+    }
+    let out = run_ok(&["iterate", "sinkless-coloring::3", "--json"]);
+    assert!(out.contains("\"kind\": \"fixed-point\""), "{out}");
+    assert!(out.contains("\"lower_bound\": null"), "{out}");
+    let file = tmp_dir().join("sc-template-json.problem");
+    std::fs::write(&file, "name: sc\nnode: 1 0 0\nedge: 0 0 | 0 1\n").unwrap();
+    let out =
+        run_ok(&["iterate", "sinkless-coloring::3", "--relax", file.to_str().unwrap(), "--json"]);
+    assert!(out.contains("\"template\": 0"), "{out}");
+}
