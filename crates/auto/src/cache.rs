@@ -10,8 +10,20 @@
 //! [`are_isomorphic`]. Problems with different label counts are never
 //! isomorphic, so the two key kinds never need to agree with each other.
 //!
-//! Per node the cache memoizes the two expensive per-problem queries the
-//! search repeats: the [`full_step`] successor (by node id, so a whole
+//! Two layers keep interning off the hot path:
+//!
+//! * a **fingerprint index** ([`fingerprint`], [`CanonCache::intern_fingerprinted`]):
+//!   a 64-bit digest of the refined isomorphism invariants probed *before*
+//!   any canonical key is computed, so re-derived classes (most relax
+//!   candidates) dedup with one short isomorphism check instead of a full
+//!   canonical-form enumeration;
+//! * a **process-wide `full_step` memo** ([`full_step_cached`]) keyed by
+//!   the hybrid [`dedup_key`] hash and resolved by exact problem equality,
+//!   so repeated searches in one process (sweeps, benches, the CLI) never
+//!   recompute a speedup they have already taken.
+//!
+//! Per node the cache also memoizes the two expensive per-problem queries
+//! the search repeats: the [`full_step`] successor (by node id, so a whole
 //! isomorphism class pays for one speedup computation) and 0-round
 //! solvability per model.
 
@@ -22,6 +34,7 @@ use roundelim_core::sequence::ZeroRoundModel;
 use roundelim_core::speedup::full_step;
 use roundelim_core::zero_round::{zero_round_oriented, zero_round_pn};
 use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 /// The cache key: core's hybrid isomorphism-dedup key (exact canonical
 /// form for small alphabets, the cheap signature-profile invariant above).
@@ -60,7 +73,8 @@ pub struct CacheStats {
     pub classes: usize,
     /// Intern calls answered by an existing class.
     pub dedup_hits: usize,
-    /// Coarse-bucket collisions resolved by an isomorphism search.
+    /// Fingerprint/coarse-bucket collisions resolved by an isomorphism
+    /// search.
     pub iso_resolutions: usize,
     /// `full_step` computations avoided by the memo.
     pub step_hits: usize,
@@ -68,11 +82,19 @@ pub struct CacheStats {
     pub step_misses: usize,
 }
 
+/// Cheap isomorphism-invariant digest (re-exported from core's `iso`,
+/// which owns the refined-hash machinery it must stay in lockstep with).
+pub use roundelim_core::iso::fingerprint;
+
 /// The canonical-form cache (see module docs).
 #[derive(Debug, Default)]
 pub struct CanonCache {
     /// Exact buckets hold one class; coarse buckets may hold several.
     ids: HashMap<CacheKey, Vec<NodeId>>,
+    /// Fingerprint index over interned classes (collisions resolved by
+    /// isomorphism; only classes interned through
+    /// [`CanonCache::intern_fingerprinted`] are guaranteed present).
+    fps: HashMap<u64, Vec<NodeId>>,
     entries: Vec<Entry>,
     /// Hit/miss counters.
     pub stats: CacheStats,
@@ -98,31 +120,68 @@ impl CanonCache {
     /// new. The first problem to reach a class stays its representative.
     pub fn intern(&mut self, p: Problem) -> (NodeId, bool) {
         let key = cache_key(&p);
-        self.intern_keyed(key, p)
+        let (id, back) = self.intern_keyed(key, p);
+        (id, back.is_none())
     }
 
     /// [`CanonCache::intern`] with a caller-supplied key (the search
     /// computes keys for candidate batches on worker threads, then interns
-    /// sequentially so ids are deterministic).
-    pub fn intern_keyed(&mut self, key: CacheKey, p: Problem) -> (NodeId, bool) {
+    /// sequentially so ids are deterministic). On dedup the problem is
+    /// handed back to the caller (`Some`); a new class consumes it
+    /// (`None`) — no clone either way.
+    pub fn intern_keyed(&mut self, key: CacheKey, p: Problem) -> (NodeId, Option<Problem>) {
         let exact = matches!(key, CacheKey::Exact(_));
         let bucket = self.ids.entry(key).or_default();
         for &id in bucket.iter() {
             if exact {
                 self.stats.dedup_hits += 1;
-                return (id, false);
+                return (id, Some(p));
             }
             self.stats.iso_resolutions += 1;
+            let _sp = roundelim_core::profile::span(roundelim_core::profile::Stage::Canon);
             if are_isomorphic(&self.entries[id.index()].problem, &p) {
                 self.stats.dedup_hits += 1;
-                return (id, false);
+                return (id, Some(p));
             }
         }
         let id = NodeId(u32::try_from(self.entries.len()).expect("node count fits u32"));
         bucket.push(id);
         self.entries.push(Entry { problem: p, step: None, zero_round: [None, None] });
         self.stats.classes += 1;
-        (id, true)
+        (id, None)
+    }
+
+    /// Interns through the fingerprint index: if an isomorphic class is
+    /// already indexed under `fp`, dedup costs one isomorphism check and
+    /// **no canonical key is ever computed** — the saving that makes the
+    /// relax closure affordable, since most relax candidates re-derive
+    /// known classes. Falls back to the keyed path (and registers the
+    /// fingerprint) on a miss. Same return convention as
+    /// [`CanonCache::intern_keyed`].
+    pub fn intern_fingerprinted(&mut self, fp: u64, p: Problem) -> (NodeId, Option<Problem>) {
+        if let Some(ids) = self.fps.get(&fp) {
+            for &id in ids {
+                self.stats.iso_resolutions += 1;
+                let iso = {
+                    let _sp = roundelim_core::profile::span(roundelim_core::profile::Stage::Canon);
+                    are_isomorphic(&self.entries[id.index()].problem, &p)
+                };
+                if iso {
+                    self.stats.dedup_hits += 1;
+                    return (id, Some(p));
+                }
+            }
+        }
+        let key = {
+            let _sp = roundelim_core::profile::span(roundelim_core::profile::Stage::Canon);
+            cache_key(&p)
+        };
+        let (id, back) = self.intern_keyed(key, p);
+        let bucket = self.fps.entry(fp).or_default();
+        if !bucket.contains(&id) {
+            bucket.push(id);
+        }
+        (id, back)
     }
 
     /// The representative problem of a class.
@@ -140,6 +199,7 @@ impl CanonCache {
         if let Some(v) = self.entries[id.index()].zero_round[slot] {
             return v;
         }
+        let _sp = roundelim_core::profile::span(roundelim_core::profile::Stage::ZeroRound);
         let p = &self.entries[id.index()].problem;
         let v = match model {
             ZeroRoundModel::PlainPn => zero_round_pn(p).is_some(),
@@ -161,7 +221,7 @@ impl CanonCache {
             let derived = self.step_derived(id).expect("memo present").clone();
             return Ok((succ, derived));
         }
-        let derived = full_step(&self.entries[id.index()].problem)?.problem().clone();
+        let derived = full_step_cached(&self.entries[id.index()].problem)?;
         let key = cache_key(&derived);
         let (succ, _) = self.record_step(id, derived.clone(), key);
         Ok((succ, derived))
@@ -188,10 +248,59 @@ impl CanonCache {
     /// Returns the successor class and whether it is new.
     pub fn record_step(&mut self, id: NodeId, derived: Problem, key: CacheKey) -> (NodeId, bool) {
         self.stats.step_misses += 1;
-        let (succ, new) = self.intern_keyed(key, derived.clone());
+        let (succ, back) = self.intern_keyed(key, derived.clone());
         self.entries[id.index()].step = Some((succ, derived));
-        (succ, new)
+        (succ, back.is_none())
     }
+}
+
+/// Entry cap of the process-wide [`full_step_cached`] memo; beyond it new
+/// results are computed but not stored (the cap bounds memory for
+/// long-lived processes, and the first thousand problems cover every
+/// sweep/bench workload by a wide margin).
+const STEP_MEMO_CAP: usize = 1024;
+
+/// Process-wide exact `full_step` memo, keyed by the hash of the hybrid
+/// [`dedup_key`] and resolved by **exact problem equality** (an isomorphic
+/// hit is not enough: the search and the certificates need the concrete
+/// derived problem of *this* representative, names included).
+///
+/// This is what makes repeated searches in one process — `autolb --sweep`
+/// over the registry, bench iterations, chained CLI searches — pay for
+/// each distinct speedup once. Within a single search the per-class memo
+/// in [`CanonCache::step`] already deduplicates, so this layer only fires
+/// across searches.
+///
+/// # Errors
+///
+/// Propagates speedup errors (e.g. alphabet overflow). Errors are not
+/// memoized.
+pub fn full_step_cached(p: &Problem) -> Result<Problem> {
+    /// Fingerprint-bucketed (source, derived) pairs.
+    type StepMemo = HashMap<u64, Vec<(Problem, Problem)>>;
+    static MEMO: OnceLock<Mutex<StepMemo>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let fp = fingerprint(p);
+    {
+        let guard = memo.lock().expect("step memo poisoned");
+        if let Some(bucket) = guard.get(&fp) {
+            for (src, derived) in bucket {
+                if src == p {
+                    return Ok(derived.clone());
+                }
+            }
+        }
+    }
+    let _sp = roundelim_core::profile::span(roundelim_core::profile::Stage::Step);
+    let derived = full_step(p)?.problem().clone();
+    let mut guard = memo.lock().expect("step memo poisoned");
+    if guard.values().map(Vec::len).sum::<usize>() < STEP_MEMO_CAP {
+        let bucket = guard.entry(fp).or_default();
+        if !bucket.iter().any(|(src, _)| src == p) {
+            bucket.push((p.clone(), derived.clone()));
+        }
+    }
+    Ok(derived)
 }
 
 #[cfg(test)]
@@ -234,7 +343,38 @@ mod tests {
         let (b, new_b) = cache.intern(mk(&renamed));
         assert_eq!(a, b);
         assert!(!new_b);
+    }
+
+    #[test]
+    fn fingerprint_intern_skips_canonical_keys_on_dedup() {
+        let mut cache = CanonCache::new();
+        let p = sc();
+        let fp = fingerprint(&p);
+        let (a, back_a) = cache.intern_fingerprinted(fp, p);
+        assert!(back_a.is_none(), "first intern consumes the problem");
+        // A renamed copy has the same fingerprint and must dedup through
+        // the fingerprint index, returning the probe problem.
+        let renamed = Problem::parse("name: r\nnode: B A A\nedge: A A | A B").unwrap();
+        let fp2 = fingerprint(&renamed);
+        assert_eq!(fp, fp2, "fingerprints are isomorphism-invariant");
+        let (b, back_b) = cache.intern_fingerprinted(fp2, renamed);
+        assert_eq!(a, b);
+        assert!(back_b.is_some(), "dedup hands the problem back");
+        assert_eq!(cache.len(), 1);
         assert!(cache.stats.iso_resolutions >= 1);
+    }
+
+    #[test]
+    fn fingerprint_index_and_keyed_intern_agree() {
+        // A class first interned through the keyed path must still dedup
+        // when re-interned through the fingerprint path (fallback probes
+        // the keyed buckets).
+        let mut cache = CanonCache::new();
+        let (a, _) = cache.intern(sc());
+        let (b, back) = cache.intern_fingerprinted(fingerprint(&sc()), sc());
+        assert_eq!(a, b);
+        assert!(back.is_some());
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]
@@ -249,6 +389,15 @@ mod tests {
         assert_eq!(cache.stats.step_hits, 1);
         // §4.4: the derived problem of sinkless coloring is isomorphic to it.
         assert_eq!(s1, id);
+    }
+
+    #[test]
+    fn process_step_memo_returns_exact_results() {
+        let p = sc();
+        let a = full_step_cached(&p).unwrap();
+        let b = full_step_cached(&p).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, full_step(&p).unwrap().problem().clone());
     }
 
     #[test]

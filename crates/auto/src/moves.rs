@@ -22,6 +22,7 @@
 //! into certificates, and [`crate::certificate::Certificate::verify`]
 //! replays them with `roundelim_core::relax::check_relaxation`.
 
+use roundelim_core::iso::refined_label_hashes;
 use roundelim_core::label::{Alphabet, Label};
 use roundelim_core::labelset::LabelSet;
 use roundelim_core::problem::Problem;
@@ -72,7 +73,10 @@ fn quotient(p: &Problem, rep: &[usize], what: String) -> Option<RelaxMove> {
         (0..p.alphabet().len()).map(|i| Label::from_index(new_index[rep[i]])).collect();
     let node = p.node().map_labels(|l| map[l.index()]);
     let edge = p.edge().map_labels(|l| map[l.index()]);
-    let result = Problem::new(format!("{}″", p.name()), alphabet, node, edge).ok()?;
+    // The quotient maps labels into the fresh alphabet by construction and
+    // preserves the edge arity: skip per-candidate validation (this runs
+    // for every relax candidate of every expanded node).
+    let result = Problem::new_unchecked(format!("{}″", p.name()), alphabet, node, edge);
     Some(RelaxMove { what, map, result })
 }
 
@@ -138,11 +142,46 @@ pub fn dominated_merge_moves(p: &Problem) -> Vec<RelaxMove> {
     out
 }
 
-/// All ordered pairs `(a, b)` where `b` dominates `a` (see
-/// [`dominated_merge_moves`]), in lexicographic order.
-fn dominated_pairs(p: &Problem) -> Vec<(usize, usize)> {
+/// Whether replacing `a` by `b` keeps every configuration of `c` inside
+/// `c`: an allocation-free trie probe per configuration containing `a`.
+fn replacement_stays_inside(
+    c: &roundelim_core::constraint::Constraint,
+    a: Label,
+    b: Label,
+    buf: &mut Vec<Label>,
+) -> bool {
+    let trie = c.trie();
+    c.iter().filter(|cfg| cfg.contains(a)).all(|cfg| {
+        buf.clear();
+        buf.extend(cfg.labels().iter().map(|&l| if l == a { b } else { l }));
+        buf.sort_unstable();
+        trie.contains_sorted(buf)
+    })
+}
+
+/// Constant-time necessary-and-sufficient edge-side dominance test over
+/// precomputed compatibility rows: replacing `a` by `b` keeps every edge
+/// configuration iff `row(a)∖{a} ⊆ row(b)` and (`{a,a} ∈ g` implies
+/// `{b,b} ∈ g`). Non-arity-2 edge constraints fall back to the
+/// configuration scan.
+fn edge_dominates(rows: &[LabelSet], a: usize, b: usize) -> bool {
+    let (la, lb) = (Label::from_index(a), Label::from_index(b));
+    let mut off_diag = rows[a];
+    off_diag.remove(la);
+    off_diag.is_subset(&rows[b]) && (!rows[a].contains(la) || rows[b].contains(lb))
+}
+
+/// Walks the ordered pairs `(a, b)` with `b` dominating `a` in
+/// lexicographic order, calling `visit` per pair; stops early when `visit`
+/// returns `true`. The edge side is decided by the O(1) row test
+/// ([`edge_dominates`]); the node-side configuration scan only runs for
+/// pairs that pass it. Single source of truth for the dominance condition
+/// ([`dominated_pairs`] and [`simplify_move`]'s early-exit scan must never
+/// disagree).
+fn scan_dominated_pairs<F: FnMut(usize, usize) -> bool>(p: &Problem, mut visit: F) {
     let n = p.alphabet().len();
-    let mut out = Vec::new();
+    let mut buf: Vec<Label> = Vec::new();
+    let rows = (p.edge().arity() == 2).then(|| p.edge_rows());
     for a in 0..n {
         let la = Label::from_index(a);
         for b in 0..n {
@@ -150,14 +189,25 @@ fn dominated_pairs(p: &Problem) -> Vec<(usize, usize)> {
                 continue;
             }
             let lb = Label::from_index(b);
-            let dominated = |c: &roundelim_core::constraint::Constraint| {
-                c.iter().filter(|cfg| cfg.contains(la)).all(|cfg| c.contains(&cfg.replace(la, lb)))
+            let edge_ok = match &rows {
+                Some(rows) => edge_dominates(rows, a, b),
+                None => replacement_stays_inside(p.edge(), la, lb, &mut buf),
             };
-            if dominated(p.node()) && dominated(p.edge()) {
-                out.push((a, b));
+            if edge_ok && replacement_stays_inside(p.node(), la, lb, &mut buf) && visit(a, b) {
+                return;
             }
         }
     }
+}
+
+/// All ordered pairs `(a, b)` where `b` dominates `a` (see
+/// [`dominated_merge_moves`]), in lexicographic order.
+fn dominated_pairs(p: &Problem) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    scan_dominated_pairs(p, |a, b| {
+        out.push((a, b));
+        false
+    });
     out
 }
 
@@ -170,9 +220,15 @@ pub fn simplify_move(p: &Problem) -> Option<RelaxMove> {
     let mut current = p.clone();
     let mut map: Vec<Label> = (0..p.alphabet().len()).map(Label::from_index).collect();
     let mut absorbed = 0usize;
-    loop {
-        let step = dominated_merge_moves(&current);
-        let Some(mv) = step.into_iter().next() else { break };
+    while let Some((a, b)) = first_dominated_pair(&current) {
+        // Only the lexicographically first absorption is applied, so the
+        // pair scan stops at the first hit instead of materializing every
+        // dominated-merge quotient.
+        let n = current.alphabet().len();
+        let mut rep: Vec<usize> = (0..n).collect();
+        rep[a] = b;
+        let what = String::new(); // composed move carries its own description
+        let Some(mv) = quotient(&current, &rep, what) else { break };
         for slot in map.iter_mut() {
             *slot = mv.map[slot.index()];
         }
@@ -187,6 +243,18 @@ pub fn simplify_move(p: &Problem) -> Option<RelaxMove> {
         map,
         result: current,
     })
+}
+
+/// The lexicographically first ordered pair `(a, b)` with `b` dominating
+/// `a`, if any (early-exit [`scan_dominated_pairs`] for
+/// [`simplify_move`]'s absorb-one-at-a-time loop).
+fn first_dominated_pair(p: &Problem) -> Option<(usize, usize)> {
+    let mut hit = None;
+    scan_dominated_pairs(p, |a, b| {
+        hit = Some((a, b));
+        true
+    });
+    hit
 }
 
 /// The structural coarsening of `p`: merge every group of labels with an
@@ -213,6 +281,78 @@ pub fn coarsen_move(p: &Problem) -> Option<RelaxMove> {
     quotient(p, &rep, "coarsen edge-equal labels".to_owned())
 }
 
+/// Labels grouped into *verified interchangeability classes*: `rep[l]` is
+/// the smallest label whose transposition with `l` (possibly through a
+/// chain of class members) is an automorphism of both constraints.
+///
+/// Candidate pairs are pre-filtered by equal
+/// [`refined_label_hashes`] — a transposition automorphism forces equal
+/// constraint-row invariants — so the exact swap check (map every
+/// configuration through the transposition and test membership) only runs
+/// on the few genuinely symmetric-looking pairs.
+pub fn twin_classes(p: &Problem) -> Vec<usize> {
+    let n = p.alphabet().len();
+    let hashes = refined_label_hashes(p);
+    let mut rep: Vec<usize> = (0..n).collect();
+    for i in 0..n {
+        for j in 0..i {
+            if rep[j] == j && hashes[i] == hashes[j] && swap_is_automorphism(p, i, j) {
+                rep[i] = j;
+                break;
+            }
+        }
+    }
+    rep
+}
+
+/// Whether exchanging labels `a` and `b` maps both constraints onto
+/// themselves.
+fn swap_is_automorphism(p: &Problem, a: usize, b: usize) -> bool {
+    let (la, lb) = (Label::from_index(a), Label::from_index(b));
+    let swap = |l: Label| {
+        if l == la {
+            lb
+        } else if l == lb {
+            la
+        } else {
+            l
+        }
+    };
+    let invariant = |c: &roundelim_core::constraint::Constraint| {
+        c.iter()
+            .filter(|cfg| cfg.contains(la) || cfg.contains(lb))
+            .all(|cfg| c.contains(&cfg.map(swap)))
+    };
+    invariant(p.node()) && invariant(p.edge())
+}
+
+/// Whether the pair `(a, b)` is its orbit's lexicographic representative
+/// under the interchangeability classes: merging (or absorbing along) any
+/// other pair of the orbit yields an isomorphic quotient, so only the
+/// representative is worth materializing. Works for unordered pairs
+/// (callers pass `a < b`) and ordered absorption pairs alike — the orbit
+/// of an ordered same-class pair contains both orders, so its
+/// representative is still the two smallest members ascending.
+/// `members[c]` lists class `c`'s labels ascending.
+fn pair_is_orbit_rep(a: usize, b: usize, rep: &[usize], members: &[Vec<usize>]) -> bool {
+    let (ca, cb) = (rep[a], rep[b]);
+    if ca == cb {
+        // Both in one class: the representative is the two smallest members.
+        a == members[ca][0] && b == members[ca][1]
+    } else {
+        a == members[ca][0] && b == members[cb][0]
+    }
+}
+
+/// Per-class ascending member lists for a `rep` vector.
+fn class_members(rep: &[usize]) -> Vec<Vec<usize>> {
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); rep.len()];
+    for (l, &r) in rep.iter().enumerate() {
+        members[r].push(l);
+    }
+    members
+}
+
 /// All relaxation candidates of `p`, in deterministic order: the composite
 /// simplification first, then single dominated merges (free shrinkage),
 /// then the structural coarsening, then the generic pairwise merges.
@@ -221,17 +361,103 @@ pub fn coarsen_move(p: &Problem) -> Option<RelaxMove> {
 /// either way, and every duplicate candidate would cost a full cache key
 /// downstream.
 pub fn relax_moves(p: &Problem) -> Vec<RelaxMove> {
+    relax_moves_impl(p, false, false)
+}
+
+/// [`relax_moves`] with sibling-orbit pruning: merge pairs that another
+/// already-emitted pair maps onto under a verified constraint-row
+/// automorphism ([`twin_classes`]) are skipped before their quotient is
+/// even built. Every pruned candidate is isomorphic to an emitted earlier
+/// sibling, so the searched class set — and with it every verdict and
+/// certificate — is identical to the unpruned generation; only the
+/// duplicated quotient/canonicalization work disappears.
+///
+/// With `subset_rows_only`, generic pairwise merges are additionally
+/// restricted to label pairs whose edge-compatibility rows are
+/// ⊆-comparable. Merging row-comparable labels is how derived problems
+/// collapse back onto their fixed-point shapes (the weaker label's row is
+/// absorbed without opening new edge configurations beyond the union);
+/// incomparable-row merges on big alphabets mostly mint throwaway classes
+/// whose canonicalization dominated the search's wall-clock. The search
+/// enables this only for *oversized* problems (above its `max_labels`
+/// step bound, where pairwise candidates grow quadratically), so searches
+/// whose problems stay inside the step bound explore the identical class
+/// set.
+pub fn relax_moves_pruned(p: &Problem, subset_rows_only: bool) -> Vec<RelaxMove> {
+    relax_moves_impl(p, true, subset_rows_only)
+}
+
+fn relax_moves_impl(p: &Problem, prune: bool, subset_rows_only: bool) -> Vec<RelaxMove> {
     let mut out = Vec::new();
     if let Some(mv) = simplify_move(p) {
         out.push(mv);
     }
-    out.extend(dominated_merge_moves(p));
+    let orbit = if prune {
+        let rep = twin_classes(p);
+        let members = class_members(&rep);
+        Some((rep, members))
+    } else {
+        None
+    };
+    let n = p.alphabet().len();
+    let dominated_list = dominated_pairs(p);
+    // Oversized sources skip the individual absorptions: the composite
+    // simplify move (already emitted) applies them all at once, and each
+    // skipped quotient is a full constraint rebuild on a big alphabet.
+    if !subset_rows_only {
+        for &(a, b) in &dominated_list {
+            if let Some((rep, members)) = &orbit {
+                // Ordered absorptions (a→b) share the orbit-representative
+                // rule with the unordered merges.
+                if !pair_is_orbit_rep(a, b, rep, members) {
+                    continue;
+                }
+            }
+            let mut rep_map: Vec<usize> = (0..n).collect();
+            rep_map[a] = b;
+            let what = format!(
+                "absorb {}→{}",
+                p.alphabet().name(Label::from_index(a)),
+                p.alphabet().name(Label::from_index(b))
+            );
+            if let Some(mv) = quotient(p, &rep_map, what) {
+                out.push(mv);
+            }
+        }
+    }
     if let Some(mv) = coarsen_move(p) {
         out.push(mv);
     }
     let dominated: std::collections::HashSet<(usize, usize)> =
-        dominated_pairs(p).into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect();
-    out.extend(pairwise_merges(p, &dominated));
+        dominated_list.into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect();
+    let rows = if subset_rows_only { Some(p.edge_rows()) } else { None };
+    match &orbit {
+        None => out.extend(pairwise_merges(p, &dominated)),
+        Some((rep, members)) => {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if dominated.contains(&(a, b)) || !pair_is_orbit_rep(a, b, rep, members) {
+                        continue;
+                    }
+                    if let Some(rows) = &rows {
+                        if !rows[a].is_subset(&rows[b]) && !rows[b].is_subset(&rows[a]) {
+                            continue; // incomparable rows: see fn docs
+                        }
+                    }
+                    let mut rep_map: Vec<usize> = (0..n).collect();
+                    rep_map[b] = a;
+                    let what = format!(
+                        "merge {}←{}",
+                        p.alphabet().name(Label::from_index(a)),
+                        p.alphabet().name(Label::from_index(b))
+                    );
+                    if let Some(mv) = quotient(p, &rep_map, what) {
+                        out.push(mv);
+                    }
+                }
+            }
+        }
+    }
     out
 }
 
@@ -244,9 +470,27 @@ const MAX_CONFIG_DROPS: usize = 24;
 /// Results with an empty node or edge constraint are unsolvable and are
 /// not emitted.
 pub fn harden_moves(p: &Problem) -> Vec<HardenMove> {
+    harden_moves_impl(p, None)
+}
+
+/// [`harden_moves`] with sibling-orbit pruning: dropping a label produces
+/// a problem isomorphic to dropping any of its [`twin_classes`] siblings,
+/// so only the class representative's drop is materialized. The searched
+/// class set is unchanged (every pruned candidate is isomorphic to an
+/// earlier emitted one); configuration drops are not pruned.
+pub fn harden_moves_pruned(p: &Problem) -> Vec<HardenMove> {
+    harden_moves_impl(p, Some(twin_classes(p)))
+}
+
+fn harden_moves_impl(p: &Problem, twins: Option<Vec<usize>>) -> Vec<HardenMove> {
     let n = p.alphabet().len();
     let mut out = Vec::new();
     for dropped in 0..n {
+        if let Some(rep) = &twins {
+            if rep[dropped] != dropped {
+                continue; // drop(l) ≅ drop(rep[l]), which was emitted first
+            }
+        }
         let keep = LabelSet::from_labels((0..n).filter(|&i| i != dropped).map(Label::from_index));
         let node = p.node().restrict(&keep);
         let edge = p.edge().restrict(&keep);
@@ -391,5 +635,88 @@ mod tests {
         let a: Vec<String> = relax_moves(&p).into_iter().map(|m| m.what).collect();
         let b: Vec<String> = relax_moves(&p).into_iter().map(|m| m.what).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn orbit_pruning_only_drops_isomorphic_duplicates() {
+        use rand::{Rng, SeedableRng};
+        use roundelim_core::iso::are_isomorphic;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x0B17);
+        let mut pruned_any = false;
+        for trial in 0..60 {
+            let n = rng.gen_range(2..=5);
+            let delta = rng.gen_range(2..=3);
+            let names: Vec<String> = (0..n).map(|i| format!("L{i}")).collect();
+            let alphabet =
+                roundelim_core::label::Alphabet::from_names(names.iter().map(String::as_str))
+                    .unwrap();
+            let mut node = roundelim_core::constraint::Constraint::new(delta).unwrap();
+            for m in roundelim_core::config::all_multisets(n, delta) {
+                if rng.gen_bool(0.4) {
+                    node.insert(m).unwrap();
+                }
+            }
+            let mut edge = roundelim_core::constraint::Constraint::new(2).unwrap();
+            for m in roundelim_core::config::all_multisets(n, 2) {
+                if rng.gen_bool(0.5) {
+                    edge.insert(m).unwrap();
+                }
+            }
+            if node.is_empty() || edge.is_empty() {
+                continue;
+            }
+            let Ok(p) = Problem::new("t", alphabet, node, edge) else { continue };
+            let full = relax_moves(&p);
+            let pruned = relax_moves_pruned(&p, false);
+            assert!(pruned.len() <= full.len());
+            pruned_any |= pruned.len() < full.len();
+            // The pruned list is a subsequence of the full list …
+            let mut it = full.iter();
+            for mv in &pruned {
+                assert!(
+                    it.any(|f| f.what == mv.what && f.map == mv.map && f.result == mv.result),
+                    "trial {trial}: pruned move {} not in unpruned order",
+                    mv.what
+                );
+            }
+            // … and every dropped candidate is isomorphic to a kept one
+            // (so the searched class set cannot change).
+            for mv in &full {
+                assert!(
+                    pruned.iter().any(|k| are_isomorphic(&k.result, &mv.result)),
+                    "trial {trial}: dropped move {} has no isomorphic representative",
+                    mv.what
+                );
+            }
+            // The subset-rows restriction is itself a subsequence.
+            let rows_only = relax_moves_pruned(&p, true);
+            let mut it = pruned.iter();
+            for mv in &rows_only {
+                assert!(it.any(|f| f.what == mv.what && f.map == mv.map));
+            }
+        }
+        assert!(pruned_any, "the generator never pruned anything — test lost its teeth");
+    }
+
+    #[test]
+    fn harden_pruning_only_drops_isomorphic_duplicates() {
+        use roundelim_core::iso::are_isomorphic;
+        // 3-coloring: the three labels are fully interchangeable, so the
+        // three label drops collapse to one representative.
+        let p = Problem::parse("name: c3\nnode: 1 1 | 2 2 | 3 3\nedge: 1 2 | 1 3 | 2 3").unwrap();
+        let full = harden_moves(&p);
+        let pruned = harden_moves_pruned(&p);
+        assert!(pruned.len() < full.len());
+        for mv in &full {
+            assert!(pruned.iter().any(|k| are_isomorphic(&k.result, &mv.result)));
+        }
+    }
+
+    #[test]
+    fn twin_classes_detects_full_symmetry() {
+        let c3 = Problem::parse("name: c3\nnode: 1 1 | 2 2 | 3 3\nedge: 1 2 | 1 3 | 2 3").unwrap();
+        assert_eq!(twin_classes(&c3), vec![0, 0, 0]);
+        // sc's labels have different roles: all classes singleton.
+        assert_eq!(twin_classes(&sc()), vec![0, 1]);
     }
 }

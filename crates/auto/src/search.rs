@@ -35,15 +35,17 @@
 //! `threads` option (0 = the `ROUNDELIM_THREADS` variable, else all
 //! cores) only sets how fast it arrives.
 
-use crate::cache::{cache_key, CacheKey, CacheStats, CanonCache, NodeId};
+use crate::cache::{
+    cache_key, fingerprint, full_step_cached, CacheKey, CacheStats, CanonCache, NodeId,
+};
 use crate::certificate::{CertVerdict, Certificate, Direction, Edge};
-use crate::moves::{harden_moves, relax_moves};
+use crate::moves::{harden_moves, harden_moves_pruned, relax_moves, relax_moves_pruned};
 use crate::score::score;
 use roundelim_core::error::Result;
 use roundelim_core::iso::isomorphism;
 use roundelim_core::problem::Problem;
+use roundelim_core::profile::{span, Stage};
 use roundelim_core::sequence::ZeroRoundModel;
-use roundelim_core::speedup::full_step;
 
 /// Tuning knobs for [`autolb`] / [`autoub`].
 #[derive(Debug, Clone)]
@@ -63,6 +65,13 @@ pub struct SearchOptions {
     pub threads: usize,
     /// The 0-round model for goal checks.
     pub model: ZeroRoundModel,
+    /// Skip sibling move candidates that a verified constraint-row
+    /// automorphism maps onto an earlier sibling
+    /// ([`crate::moves::relax_moves_pruned`]). The searched class set,
+    /// verdicts, and certificates are identical with or without pruning
+    /// (property-tested); `false` exists for that cross-check and costs
+    /// the duplicated canonicalization work.
+    pub prune_siblings: bool,
 }
 
 impl Default for SearchOptions {
@@ -74,6 +83,7 @@ impl Default for SearchOptions {
             max_labels: 12,
             threads: 0,
             model: ZeroRoundModel::Oriented,
+            prune_siblings: true,
         }
     }
 }
@@ -212,12 +222,31 @@ impl Search {
         parent: Option<(NodeId, Edge)>,
         depth: usize,
     ) -> (NodeId, bool) {
-        let (id, new) = self.cache.intern_keyed(key, p);
+        let (id, back) = self.cache.intern_keyed(key, p);
+        let new = back.is_none();
         if new {
             self.meta.push(Meta { depth, parent });
             debug_assert_eq!(self.meta.len(), self.cache.len());
         }
         (id, new)
+    }
+
+    /// Interns through the cache's fingerprint index (no canonical key on
+    /// dedup); hands the problem back on dedup, exactly like
+    /// [`CanonCache::intern_fingerprinted`].
+    fn intern_fp(
+        &mut self,
+        p: Problem,
+        fp: u64,
+        parent: Option<(NodeId, Edge)>,
+        depth: usize,
+    ) -> (NodeId, Option<Problem>) {
+        let (id, back) = self.cache.intern_fingerprinted(fp, p);
+        if back.is_none() {
+            self.meta.push(Meta { depth, parent });
+            debug_assert_eq!(self.meta.len(), self.cache.len());
+        }
+        (id, back)
     }
 
     /// Problems above this label count are not interned at all: they are
@@ -294,20 +323,41 @@ impl Search {
         detect_cycles: bool,
         goals: &mut Vec<NodeId>,
     ) -> Option<CycleHit> {
+        let _sp = span(Stage::RelaxClosure);
+        let prune = self.opts.prune_siblings;
         let mut wave: Vec<NodeId> = pool.clone();
         while !wave.is_empty() {
-            // Generate candidates (and their canonical keys) in parallel;
-            // the per-candidate work is pure.
+            // Generate candidates (and their invariant fingerprints) in
+            // parallel; the per-candidate work is pure. Canonical keys are
+            // *not* computed here: the fold interns through the fingerprint
+            // index, which resolves re-derived classes with one short
+            // isomorphism check and computes a canonical key only for
+            // genuinely new classes.
             let sources: Vec<(NodeId, Problem)> =
                 wave.iter().map(|&n| (n, self.cache.problem(n).clone())).collect();
             let cap = self.intern_cap();
-            let cands: Vec<Vec<(Vec<roundelim_core::label::Label>, Problem, CacheKey)>> =
+            // Oversized sources (above the step bound) only exist to be
+            // relaxed back under it; their quadratic pairwise-merge fan-out
+            // is restricted to ⊆-comparable edge rows (see
+            // `relax_moves_pruned`).
+            let max_labels = self.opts.max_labels;
+            let cands: Vec<Vec<(Vec<roundelim_core::label::Label>, Problem, u64)>> =
                 par_map(&sources, self.threads, |(_, p)| {
-                    let moves: Vec<_> = match direction {
-                        Direction::Lower => {
+                    let moves: Vec<_> = match (direction, prune) {
+                        (Direction::Lower, true) => {
+                            let subset_only = p.alphabet().len() > max_labels;
+                            relax_moves_pruned(p, subset_only)
+                                .into_iter()
+                                .map(|m| (m.map, m.result))
+                                .collect()
+                        }
+                        (Direction::Lower, false) => {
                             relax_moves(p).into_iter().map(|m| (m.map, m.result)).collect()
                         }
-                        Direction::Upper => {
+                        (Direction::Upper, true) => {
+                            harden_moves_pruned(p).into_iter().map(|m| (m.map, m.result)).collect()
+                        }
+                        (Direction::Upper, false) => {
                             harden_moves(p).into_iter().map(|m| (m.map, m.result)).collect()
                         }
                     };
@@ -315,35 +365,46 @@ impl Search {
                         .into_iter()
                         .filter(|(_, r)| r.alphabet().len() <= cap)
                         .map(|(map, r)| {
-                            let key = cache_key(&r);
-                            (map, r, key)
+                            let fp = fingerprint(&r);
+                            (map, r, fp)
                         })
                         .collect()
                 });
             // Fold into the cache sequentially, in item order.
             let mut next_wave = Vec::new();
             for ((n, _), list) in sources.iter().zip(cands) {
-                for (map, result, key) in list {
+                for (map, result, fp) in list {
                     let edge = match direction {
                         Direction::Lower => Edge::Relax { map },
                         Direction::Upper => Edge::Harden { map },
                     };
-                    let (c, new) =
-                        self.intern(result.clone(), key, Some((*n, edge.clone())), depth);
-                    if new {
-                        if self.zero(c) {
-                            goals.push(c);
-                        } else {
-                            pool.push(c);
-                            next_wave.push(c);
+                    let (c, returned) = self.intern_fp(result, fp, Some((*n, edge.clone())), depth);
+                    match returned {
+                        None => {
+                            // A new class: goal-check it, else it joins the
+                            // pool and the next wave.
+                            if self.zero(c) {
+                                goals.push(c);
+                            } else {
+                                pool.push(c);
+                                next_wave.push(c);
+                            }
                         }
-                    } else if detect_cycles
-                        && self.is_ancestor(c, *n)
-                        && self.meta[n.index()].depth > self.meta[c.index()].depth
-                    {
-                        // A sideways edge closing onto an ancestor with at
-                        // least one step edge in between.
-                        return Some(CycleHit { from: *n, edge, problem: result, back_to: c });
+                        Some(result) => {
+                            if detect_cycles
+                                && self.is_ancestor(c, *n)
+                                && self.meta[n.index()].depth > self.meta[c.index()].depth
+                            {
+                                // A sideways edge closing onto an ancestor
+                                // with at least one step edge in between.
+                                return Some(CycleHit {
+                                    from: *n,
+                                    edge,
+                                    problem: result,
+                                    back_to: c,
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -384,7 +445,9 @@ impl Search {
         }
         let cap = self.intern_cap();
         let computed: Vec<Option<(Problem, CacheKey)>> = par_map(&todo, self.threads, |(_, p)| {
-            let derived = full_step(p).ok()?.problem().clone();
+            // The process-wide memo makes repeated searches (sweeps, bench
+            // iterations) pay for each distinct speedup once.
+            let derived = full_step_cached(p).ok()?;
             if derived.alphabet().len() > cap
                 || derived.node().is_empty()
                 || derived.edge().is_empty()
@@ -395,6 +458,7 @@ impl Search {
                 // end the path here.
                 return None;
             }
+            let _sp = span(Stage::Canon);
             let key = cache_key(&derived);
             Some((derived, key))
         });
@@ -677,6 +741,40 @@ mod tests {
         );
         let without = autolb(&mm, &SearchOptions { use_relaxations: false, ..opts }).unwrap();
         assert_eq!(without.verdict, Verdict::LowerBound { rounds: 2 });
+    }
+
+    #[test]
+    fn sibling_pruning_preserves_the_search_exactly() {
+        // With every explored problem inside the step bound (no oversized
+        // sources, so the edge-row subset restriction never fires), the
+        // pruned search must intern the same canonical class set and emit
+        // the same verdict and certificate as the unpruned search — the
+        // pruning only skips isomorphic sibling duplicates.
+        let specs = [
+            ("name: so\nnode: O O O | O O I | O I I\nedge: O I", 2),
+            ("name: c3\nnode: 1 1 | 2 2 | 3 3\nedge: 1 2 | 1 3 | 2 3", 1),
+            ("name: sc\nnode: 1 0 0\nedge: 0 0 | 0 1", 2),
+        ];
+        for (text, steps) in specs {
+            let p = Problem::parse(text).unwrap();
+            let base = SearchOptions {
+                max_steps: steps,
+                beam_width: 6,
+                max_labels: 16,
+                threads: 1,
+                prune_siblings: false,
+                ..SearchOptions::default()
+            };
+            let unpruned = autolb(&p, &base).unwrap();
+            let pruned =
+                autolb(&p, &SearchOptions { prune_siblings: true, ..base.clone() }).unwrap();
+            assert_eq!(pruned.verdict, unpruned.verdict, "{text}");
+            assert_eq!(pruned.certificate, unpruned.certificate, "{text}");
+            assert_eq!(
+                pruned.stats.cache.classes, unpruned.stats.cache.classes,
+                "{text}: class sets diverged"
+            );
+        }
     }
 
     #[test]

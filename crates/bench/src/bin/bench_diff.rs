@@ -1,13 +1,16 @@
 //! Diffs the current `BENCH_speedup.json` against a baseline from a
-//! previous CI run, failing when any case regressed past the threshold.
+//! previous CI run, failing when any case regressed past the threshold
+//! **or** a baseline case is missing from the current run (a silently
+//! dropped benchmark must not pass CI). Improvements past the same
+//! threshold are printed with their ratio so wins show up in the log.
 //!
 //! ```text
 //! bench_diff <baseline.json> <current.json> [--threshold 1.5]
 //! ```
 //!
-//! Exit codes: 0 = no regression, 1 = regression found, 2 = usage/IO error.
-//! Cases present in only one document are reported but never fail the run
-//! (benchmarks get added and retired; the diff polices the shared ones).
+//! Exit codes: 0 = no regression and no missing case, 1 = regression or
+//! missing case, 2 = usage/IO error. New cases (present only in the
+//! current document) are reported but never fail the run.
 
 use roundelim_bench::diff_benchmarks;
 use std::process::ExitCode;
@@ -47,18 +50,35 @@ fn main() -> ExitCode {
             for line in &report.lines {
                 println!("{line}");
             }
-            for line in &report.unmatched {
-                println!("(unmatched) {line}");
+            for line in &report.new_cases {
+                println!("(new) {line}");
             }
-            if report.regressions.is_empty() {
-                println!("no regressions past {threshold}x");
-                ExitCode::SUCCESS
-            } else {
+            if !report.improvements.is_empty() {
+                println!("IMPROVEMENTS past {threshold}x:");
+                for line in &report.improvements {
+                    println!("  {line}");
+                }
+            }
+            let mut failed = false;
+            if !report.missing.is_empty() {
+                failed = true;
+                println!("MISSING families (present in baseline, absent now):");
+                for line in &report.missing {
+                    println!("  {line}");
+                }
+            }
+            if !report.regressions.is_empty() {
+                failed = true;
                 println!("REGRESSIONS past {threshold}x:");
                 for line in &report.regressions {
                     println!("  {line}");
                 }
+            }
+            if failed {
                 ExitCode::FAILURE
+            } else {
+                println!("no regressions past {threshold}x, no missing families");
+                ExitCode::SUCCESS
             }
         }
     }

@@ -6,10 +6,19 @@
 //! Families and parameters mirror `benches/speedup.rs`:
 //!
 //! * `E1_sinkless_full_step` — Δ = 3..=10
-//! * `E2_coloring_half_step` — k = 3..=6
-//! * `E3_weak2_full_step`    — Δ = 3, 5, 7, 9
+//! * `E2_coloring_half_step` — k = 3..=7
+//! * `E3_weak2_full_step`    — Δ = 3, 5, 7, 9, 11
 //! * `A1_autolb_sinkless`    — Δ = 3..=6 (full `roundelim-auto` search:
 //!   canonical-form cache, relaxation closure, cycle certificate, verify)
+//! * `A2_autolb_coloring`    — k = 3 at Δ = 3, beam 6 (the relax-closure
+//!   stress case: oversized intermediates, subset-row pruning, fingerprint
+//!   dedup)
+//!
+//! The `A*` searches share the process-wide exact `full_step` memo, so
+//! from the second iteration on they measure the steady-state search —
+//! relax closure, canonicalization, 0-round goal checks — rather than
+//! recomputing identical speedups; that is exactly the subsystem these
+//! families exist to track.
 //!
 //! Keep this fast (seconds, not minutes): it is a smoke job, not a
 //! statistics job. Set `BENCH_SMOKE_OUT` to change the output path.
@@ -43,13 +52,13 @@ fn main() {
             black_box(full_step(&p).expect("no overflow"));
         });
     }
-    for k in 3..=6 {
+    for k in 3..=7 {
         let p = coloring(k, 2).expect("valid k");
         case(&mut results, "E2_coloring_half_step", k, || {
             black_box(half_step_edge(&p).expect("no overflow"));
         });
     }
-    for delta in [3usize, 5, 7, 9] {
+    for delta in [3usize, 5, 7, 9, 11] {
         let p = weak_coloring_pointer(2, delta).expect("valid Δ");
         case(&mut results, "E3_weak2_full_step", delta, || {
             black_box(full_step(&p).expect("no overflow"));
@@ -67,6 +76,24 @@ fn main() {
             black_box(out);
         });
     }
+    // coloring:3:3 at the acceptance budget (beam 6, steps 6, ≤10 labels):
+    // dominated by the relax closure over big-alphabet intermediates.
+    let c33_opts = SearchOptions {
+        threads: 1,
+        max_steps: 6,
+        beam_width: 6,
+        max_labels: 10,
+        ..SearchOptions::default()
+    };
+    let c33 = coloring(3, 3).expect("valid k");
+    case(&mut results, "A2_autolb_coloring", 3, || {
+        let out = autolb(&c33, &c33_opts).expect("search succeeds");
+        assert!(
+            matches!(out.verdict, Verdict::LowerBound { rounds } if rounds >= 2),
+            "coloring:3:3 must certify at least LB 2 at this budget"
+        );
+        black_box(out);
+    });
 
     let path = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_speedup.json".to_owned());
     std::fs::write(&path, to_json(&results)).expect("write BENCH_speedup.json");

@@ -80,8 +80,16 @@ pub struct DiffReport {
     pub lines: Vec<String>,
     /// Cases whose `median_ns` grew by more than the threshold factor.
     pub regressions: Vec<String>,
-    /// Cases only present in one document (new or removed benchmarks).
-    pub unmatched: Vec<String>,
+    /// Cases whose `median_ns` shrank by more than the threshold factor
+    /// (reported so a perf win is visible in the CI log, not just the
+    /// absence of a failure).
+    pub improvements: Vec<String>,
+    /// Cases only present in the current document (new benchmarks).
+    pub new_cases: Vec<String>,
+    /// Cases present in the baseline but absent from the current document.
+    /// A silently dropped benchmark must fail the run — otherwise removing
+    /// a family would pass CI while losing its perf coverage.
+    pub missing: Vec<String>,
 }
 
 /// Parses a `BENCH_speedup.json` document into `(family, param) → median_ns`.
@@ -128,12 +136,15 @@ pub fn diff_benchmarks(
     let mut report = DiffReport::default();
     for (family, param, cur_ns) in &cur {
         match base.iter().find(|(f, p, _)| f == family && p == param) {
-            None => report.unmatched.push(format!("{family}/{param}: new case ({cur_ns} ns)")),
+            None => report.new_cases.push(format!("{family}/{param}: new case ({cur_ns} ns)")),
             Some((_, _, base_ns)) => {
                 let ratio = *cur_ns as f64 / (*base_ns).max(1) as f64;
                 let line = format!("{family}/{param}: {base_ns} ns → {cur_ns} ns ({ratio:.2}x)");
                 if *base_ns >= 1_000 && ratio > threshold {
                     report.regressions.push(line.clone());
+                }
+                if *base_ns >= 1_000 && ratio < 1.0 / threshold {
+                    report.improvements.push(line.clone());
                 }
                 report.lines.push(line);
             }
@@ -141,7 +152,7 @@ pub fn diff_benchmarks(
     }
     for (family, param, base_ns) in &base {
         if !cur.iter().any(|(f, p, _)| f == family && p == param) {
-            report.unmatched.push(format!("{family}/{param}: removed (was {base_ns} ns)"));
+            report.missing.push(format!("{family}/{param}: missing (baseline had {base_ns} ns)"));
         }
     }
     Ok(report)
@@ -189,14 +200,30 @@ mod tests {
     }
 
     #[test]
-    fn diff_reports_new_and_removed_cases() {
+    fn diff_reports_new_and_missing_cases() {
         let base =
             to_json(&[Measurement { family: "E1".into(), param: 3, median_ns: 10, iters: 1 }]);
         let cur =
             to_json(&[Measurement { family: "A1".into(), param: 3, median_ns: 10, iters: 1 }]);
         let report = diff_benchmarks(&base, &cur, 1.5).unwrap();
-        assert_eq!(report.unmatched.len(), 2);
+        assert_eq!(report.new_cases.len(), 1);
+        assert_eq!(report.missing.len(), 1, "dropped baseline cases are flagged");
+        assert!(report.missing[0].contains("E1/3"));
         assert!(diff_benchmarks("not json", &cur, 1.5).is_err());
+    }
+
+    #[test]
+    fn diff_reports_improvements_with_ratio() {
+        let mk = |ns: u64| {
+            to_json(&[Measurement { family: "E3".into(), param: 9, median_ns: ns, iters: 10 }])
+        };
+        let report = diff_benchmarks(&mk(271_000_000), &mk(5_000_000), 1.5).unwrap();
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.improvements.len(), 1);
+        assert!(report.improvements[0].contains("0.02x"), "{:?}", report.improvements);
+        // A 1.2x improvement is inside the threshold band: not reported.
+        let quiet = diff_benchmarks(&mk(12_000), &mk(10_000), 1.5).unwrap();
+        assert!(quiet.improvements.is_empty());
     }
 
     #[test]

@@ -169,10 +169,16 @@ impl Constraint {
 
     /// Returns a new constraint with every label mapped through `f`.
     ///
-    /// Used for renaming/restriction; the arity is preserved.
+    /// Used for renaming/restriction; the arity is preserved. The mapped
+    /// configurations are sorted and deduplicated up front so the ordered
+    /// set bulk-loads in linear time instead of rebalancing per insert —
+    /// quotient construction in the bound search maps constraints for
+    /// every relax candidate.
     pub fn map_labels<F: FnMut(Label) -> Label>(&self, mut f: F) -> Constraint {
-        let configs = self.configs.iter().map(|c| c.map(&mut f)).collect();
-        Constraint { arity: self.arity, configs, trie: OnceLock::new() }
+        let mut configs: Vec<Config> = self.configs.iter().map(|c| c.map(&mut f)).collect();
+        configs.sort_unstable();
+        configs.dedup();
+        Constraint::from_sorted_configs_unchecked(self.arity, configs)
     }
 
     /// Returns the sub-constraint of configurations whose labels all lie in

@@ -12,27 +12,113 @@ use crate::constraint::Constraint;
 use crate::label::Label;
 use crate::problem::Problem;
 
-/// A label's occurrence profile in the node and edge constraints; see
-/// [`signature`].
-pub type LabelSignature = (Vec<(usize, usize)>, Vec<(usize, usize)>);
-
 /// The canonical `(node, edge)` image computed by [`canonical_key`].
 pub type CanonicalKey = (Vec<Vec<usize>>, Vec<Vec<usize>>);
 
-/// A per-label invariant used to prune the isomorphism search: how often
-/// the label occurs, with which multiplicities, in each constraint.
-fn signature(p: &Problem, l: Label) -> LabelSignature {
-    let sig = |c: &Constraint| -> Vec<(usize, usize)> {
-        // multiset of (multiplicity-of-l-in-config, config-arity-support) over configs containing l
-        let mut v: Vec<(usize, usize)> = c
-            .iter()
-            .filter(|cfg| cfg.contains(l))
-            .map(|cfg| (cfg.multiplicity(l), cfg.support().len()))
-            .collect();
-        v.sort_unstable();
-        v
-    };
-    (sig(p.node()), sig(p.edge()))
+/// Deterministic 64-bit mixer for invariant hashing (splitmix64 finalizer).
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Folds `w` into the running invariant hash `h` (order-dependent).
+#[inline]
+fn fold(h: u64, w: u64) -> u64 {
+    mix64(h ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Per-label *refined* invariant hashes: Weisfeiler–Leman-style
+/// neighborhood refinement over the constraint structure. Each round
+/// replaces a label's hash with a digest of (its own hash, and the sorted
+/// multiset of side-tagged digests of the configurations containing it,
+/// each folding the co-label hashes with multiplicities). Refinement stops
+/// as soon as a round fails to split any class.
+///
+/// Isomorphic problems produce hash multisets that correspond under every
+/// isomorphism — the hashes are computed from label-name-independent data
+/// only — so the result can prune isomorphism searches (equal-hash
+/// candidate filtering), group canonical-key permutations, and serve as a
+/// coarse dedup profile. Refinement splits symmetric-looking labels that
+/// plain signatures conflate, which is what keeps the permutation
+/// enumerations and coarse-bucket collision chains short on the derived
+/// problems the speedup engine produces.
+pub fn refined_label_hashes(p: &Problem) -> Vec<u64> {
+    let n = p.alphabet().len();
+    // Seed with a constant: round 1 then separates labels by their
+    // configuration-shape profile (the classic signature), later rounds by
+    // neighborhood structure.
+    let mut h: Vec<u64> = vec![0xA076_1D64_78BD_642Fu64; n];
+    let mut distinct = 1usize;
+    for _ in 0..MAX_REFINE_ROUNDS {
+        let next = refine_round(p, &h);
+        let d = count_distinct(&next);
+        if d <= distinct && distinct > 1 {
+            break;
+        }
+        distinct = d;
+        h = next;
+        if distinct == n {
+            break; // fully discrete — further rounds cannot split more
+        }
+    }
+    h
+}
+
+/// Refinement-round cap for [`refined_label_hashes`]. The hashes are
+/// computed per relax candidate on the search's hot path, so rounds are
+/// precious; after the shape round, two rounds of neighborhood refinement
+/// are where the problems this engine produces stop splitting.
+const MAX_REFINE_ROUNDS: usize = 3;
+
+fn count_distinct(h: &[u64]) -> usize {
+    let mut sorted = h.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// One refinement round (see [`refined_label_hashes`]): a single pass over
+/// the configurations — each configuration's co-label digest is pushed to
+/// every label it contains — followed by a per-label fold of the sorted
+/// digests. `O(configs × arity)` plus the sorts, independent of how many
+/// labels a configuration misses.
+fn refine_round(p: &Problem, h: &[u64]) -> Vec<u64> {
+    let n = h.len();
+    // cfg_hashes[l]: digests of the configurations containing l, per
+    // constraint side (tagged so node/edge multisets stay distinguishable).
+    let mut cfg_hashes: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut co: Vec<u64> = Vec::new();
+    for (side, c) in [p.node(), p.edge()].into_iter().enumerate() {
+        let side_tag = fold(0x2545_F491_4F6C_DD1Du64, side as u64);
+        for cfg in c.iter() {
+            let groups = cfg.groups();
+            co.clear();
+            co.extend(groups.iter().map(|&(x, m)| fold(h[x.index()], m as u64)));
+            co.sort_unstable();
+            let mut base = side_tag;
+            for &w in &co {
+                base = fold(base, w);
+            }
+            for &(x, m) in &groups {
+                cfg_hashes[x.index()].push(fold(base, m as u64));
+            }
+        }
+    }
+    cfg_hashes
+        .into_iter()
+        .enumerate()
+        .map(|(l, mut v)| {
+            v.sort_unstable();
+            let mut acc = fold(0xE703_7ED1_A0B4_28DBu64, h[l]);
+            acc = fold(acc, v.len() as u64);
+            for w in v {
+                acc = fold(acc, w);
+            }
+            acc
+        })
+        .collect()
 }
 
 /// Searches for an isomorphism from `a` to `b`.
@@ -57,13 +143,24 @@ pub fn isomorphism(a: &Problem, b: &Problem) -> Option<Vec<Label>> {
         return None;
     }
     let n = a.alphabet().len();
-    // Candidate targets per source label, filtered by signature.
-    let sigs_b: Vec<_> = b.alphabet().labels().map(|l| signature(b, l)).collect();
+    // Candidate targets per source label, filtered by the refined invariant
+    // hashes (a necessary condition: any isomorphism maps a label onto one
+    // with identical invariants).
+    let ha = refined_label_hashes(a);
+    let hb = refined_label_hashes(b);
+    {
+        let mut sa = ha.clone();
+        let mut sb = hb.clone();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        if sa != sb {
+            return None;
+        }
+    }
     let mut candidates: Vec<Vec<Label>> = Vec::with_capacity(n);
     for l in a.alphabet().labels() {
-        let sa = signature(a, l);
         let cands: Vec<Label> =
-            b.alphabet().labels().filter(|&m| sigs_b[m.index()] == sa).collect();
+            b.alphabet().labels().filter(|&m| hb[m.index()] == ha[l.index()]).collect();
         if cands.is_empty() {
             return None;
         }
@@ -169,17 +266,41 @@ pub fn check_isomorphism(a: &Problem, b: &Problem, map: &[Label]) -> bool {
     check_full(a, b, &mapping)
 }
 
-/// The sorted multiset of per-label signatures: an isomorphism *invariant*
-/// (isomorphic problems always agree on it) that is much cheaper than
-/// [`canonical_key`] — one pass over the constraints instead of a
-/// permutation enumeration. Not *complete*: distinct problems can collide,
-/// so a cache keyed by this profile must resolve collisions with
-/// [`are_isomorphic`]. This is what makes canonical-form dedup affordable
-/// for the large, symmetric alphabets the speedup transform produces.
-pub fn signature_profile(p: &Problem) -> Vec<LabelSignature> {
-    let mut sigs: Vec<LabelSignature> = p.alphabet().labels().map(|l| signature(p, l)).collect();
-    sigs.sort_unstable();
-    sigs
+/// A 64-bit digest of a problem's isomorphism invariants: label count,
+/// arities, configuration counts, and the sorted
+/// [`refined_label_hashes`]. Isomorphic problems always agree on it;
+/// distinct problems may collide, so any index keyed by it must resolve
+/// collisions with [`are_isomorphic`]. Much cheaper than [`dedup_key`] —
+/// a few refinement passes, no permutation enumeration. The bound
+/// search's fingerprint interning and process-wide step memo are built on
+/// it.
+pub fn fingerprint(p: &Problem) -> u64 {
+    let mut h = fold(0xCBF2_9CE4_8422_2325u64, p.alphabet().len() as u64);
+    h = fold(h, p.delta() as u64);
+    h = fold(h, p.edge().arity() as u64);
+    h = fold(h, ((p.node().len() as u64) << 32) | p.edge().len() as u64);
+    let mut hashes = refined_label_hashes(p);
+    hashes.sort_unstable();
+    for w in hashes {
+        h = fold(h, w);
+    }
+    h
+}
+
+/// The sorted multiset of per-label refined invariant hashes
+/// ([`refined_label_hashes`]): an isomorphism *invariant* (isomorphic
+/// problems always agree on it) that is much cheaper than
+/// [`canonical_key`] — a few refinement passes over the constraints
+/// instead of a permutation enumeration. Not *complete*: distinct problems
+/// can collide, so a cache keyed by this profile must resolve collisions
+/// with [`are_isomorphic`]. This is what makes canonical-form dedup
+/// affordable for the large, symmetric alphabets the speedup transform
+/// produces; the refinement keeps the collision chains (and with them the
+/// isomorphism-resolution scans) short.
+pub fn signature_profile(p: &Problem) -> Vec<u64> {
+    let mut hashes = refined_label_hashes(p);
+    hashes.sort_unstable();
+    hashes
 }
 
 /// Alphabet size up to which [`dedup_key`] uses the exact
@@ -212,8 +333,8 @@ pub enum DedupKey {
         arity: usize,
         /// `(|node|, |edge|)` configuration counts.
         sizes: (usize, usize),
-        /// Sorted per-label signature multiset.
-        profile: Vec<LabelSignature>,
+        /// Sorted per-label refined-invariant hash multiset.
+        profile: Vec<u64>,
     },
 }
 
@@ -247,21 +368,45 @@ pub fn dedup_key(p: &Problem) -> DedupKey {
 /// isomorphism search over the problem against itself.
 pub fn canonical_key(p: &Problem) -> CanonicalKey {
     let n = p.alphabet().len();
-    // Group labels by signature; permutations only permute within groups.
-    let sigs: Vec<_> = p.alphabet().labels().map(|l| signature(p, l)).collect();
+    // Refined invariant classes, each assigned a contiguous range of
+    // *canonical slots* ordered by the (label-name-independent) class hash
+    // value. A renaming may map a label onto any free slot of its class's
+    // range — and nothing else. Anchoring targets to invariant slot ranks
+    // (rather than to same-class *source indices*) is what makes the
+    // minimum image independent of the input labeling: isomorphic problems
+    // enumerate renamings onto the same canonical slot layout, so their
+    // minima coincide. Refinement keeps the classes (and with them the
+    // factorial enumeration) small; fully-refined problems admit exactly
+    // one renaming.
+    let hashes: Vec<u64> = refined_label_hashes(p);
+    let mut class_values: Vec<u64> = hashes.clone();
+    class_values.sort_unstable();
+    class_values.dedup();
+    // slots[l] = the canonical slot range of l's class.
+    let class_start = |h: u64| -> usize {
+        let rank = class_values.binary_search(&h).expect("hash of an existing class");
+        hashes.iter().filter(|&&x| class_values.binary_search(&x).unwrap() < rank).count()
+    };
+    let slots: Vec<(usize, usize)> = hashes
+        .iter()
+        .map(|&h| {
+            let start = class_start(h);
+            let size = hashes.iter().filter(|&&x| x == h).count();
+            (start, start + size)
+        })
+        .collect();
     let mut best: Option<CanonicalKey> = None;
-
     let mut perm: Vec<usize> = (0..n).collect();
-    // Enumerate permutations respecting signature classes via backtracking.
+    // Enumerate class-respecting renamings onto canonical slots.
     fn rec(
         p: &Problem,
-        sigs: &[LabelSignature],
+        slots: &[(usize, usize)],
         pos: usize,
         used: &mut Vec<bool>,
         perm: &mut Vec<usize>,
         best: &mut Option<CanonicalKey>,
     ) {
-        let n = sigs.len();
+        let n = slots.len();
         if pos == n {
             let key = render(p, perm);
             match best {
@@ -274,11 +419,12 @@ pub fn canonical_key(p: &Problem) -> CanonicalKey {
             }
             return;
         }
-        for tgt in 0..n {
-            if !used[tgt] && sigs[pos] == sigs[tgt] {
+        let (lo, hi) = slots[pos];
+        for tgt in lo..hi {
+            if !used[tgt] {
                 used[tgt] = true;
                 perm[pos] = tgt;
-                rec(p, sigs, pos + 1, used, perm, best);
+                rec(p, slots, pos + 1, used, perm, best);
                 used[tgt] = false;
             }
         }
@@ -300,8 +446,8 @@ pub fn canonical_key(p: &Problem) -> CanonicalKey {
         (conv(p.node()), conv(p.edge()))
     }
     let mut used = vec![false; n];
-    rec(p, &sigs, 0, &mut used, &mut perm, &mut best);
-    best.expect("at least the identity permutation is signature-respecting")
+    rec(p, &slots, 0, &mut used, &mut perm, &mut best);
+    best.expect("every label has a non-empty slot range")
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ pub mod label;
 pub mod labelset;
 pub mod parser;
 pub mod problem;
+pub mod profile;
 pub mod relax;
 pub mod sequence;
 pub mod speedup;

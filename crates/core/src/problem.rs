@@ -68,8 +68,10 @@ impl Problem {
     /// Assembles a problem from parts the caller guarantees consistent
     /// (constraints only use alphabet labels, edge arity 2); validation
     /// runs in debug builds only. For engine-derived problems whose labels
-    /// are in-range by construction.
-    pub(crate) fn new_unchecked(
+    /// are in-range by construction — e.g. the speedup transform and the
+    /// bound search's quotient construction, where per-candidate
+    /// validation is measurable.
+    pub fn new_unchecked(
         name: String,
         alphabet: Alphabet,
         node: Constraint,
@@ -224,8 +226,30 @@ impl Problem {
     }
 
     /// Whether the pair of labels on an edge satisfies the edge constraint.
+    ///
+    /// Probes the constraint's cached trie index with a stack-sorted pair:
+    /// no allocation, which matters to the 0-round deciders and simulators
+    /// that call this in tight loops.
     pub fn edge_ok(&self, a: Label, b: Label) -> bool {
-        self.edge.contains_labels(&[a, b])
+        let pair = if a <= b { [a, b] } else { [b, a] };
+        self.edge.contains_sorted(&pair)
+    }
+
+    /// Per-label edge-compatibility rows: `rows[l] = {x : {l, x} ∈ edge}`,
+    /// one bitset per alphabet label. All rows are empty when the edge
+    /// constraint is not arity 2 (the hypergraph generalization has no
+    /// pairwise compatibility notion). Shared by the 0-round deciders and
+    /// the bound search's row-structure pruning.
+    pub fn edge_rows(&self) -> Vec<crate::labelset::LabelSet> {
+        let mut rows = vec![crate::labelset::LabelSet::empty(); self.alphabet.len()];
+        if self.edge.arity() == 2 {
+            for cfg in self.edge.iter() {
+                let ls = cfg.labels();
+                rows[ls[0].index()].insert(ls[1]);
+                rows[ls[1].index()].insert(ls[0]);
+            }
+        }
+        rows
     }
 
     /// Renders the problem in the same text format [`Problem::parse`] reads.

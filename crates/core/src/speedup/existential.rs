@@ -60,15 +60,29 @@ pub fn config_matches(labels: &[Label], sets: &[LabelSet]) -> bool {
     matches_masks(&cand[..n])
 }
 
+/// Items up to which a greedy jam falls back to plain backtracking: its
+/// zero-setup recursion beats the flow matcher's array initialization, and
+/// at ≤ 6 items the worst case is a few thousand steps. Above, repeated
+/// labels make backtracking worst-case factorial in their multiplicity —
+/// `{A B^8}`-shaped configurations made it the dominant cost of the weak2
+/// Δ≥9 speedup — so the polynomial flow matcher takes over.
+const FLOW_MIN_ITEMS: usize = 7;
+
 /// Bijective matching over per-item candidate masks: greedy first (the
-/// common success path needs no recursion), full backtracking only when
-/// the greedy pass jams.
+/// common success path needs no recursion); when the greedy pass jams,
+/// plain backtracking for short inputs and augmenting-path matching over
+/// grouped masks (Kuhn's algorithm with multiplicities) for long ones.
+/// All three decide the same question.
 pub(crate) fn matches_masks(cand: &[u64]) -> bool {
     let mut used = 0u64;
     for &m in cand {
         let avail = m & !used;
         if avail == 0 {
-            return matches_masks_backtrack(cand, 0, 0);
+            return if cand.len() < FLOW_MIN_ITEMS {
+                matches_masks_backtrack(cand, 0, 0)
+            } else {
+                matches_masks_flow(cand)
+            };
         }
         used |= avail & avail.wrapping_neg();
     }
@@ -88,6 +102,57 @@ fn matches_masks_backtrack(cand: &[u64], used: u64, i: usize) -> bool {
         avail ^= j;
     }
     false
+}
+
+/// Exact matching feasibility via augmenting paths over grouped masks.
+/// Allocation-free: `cand.len() ≤ 64` (the callers' bitmask width), so all
+/// working state lives in fixed stack arrays.
+fn matches_masks_flow(cand: &[u64]) -> bool {
+    // Distinct masks with multiplicities (equal labels share a mask, so
+    // grouping collapses the factorial symmetry of the backtracking).
+    debug_assert!(cand.len() <= 64);
+    let mut masks = [0u64; 64];
+    let mut count = [0u32; 64];
+    let mut groups = 0usize;
+    for &m in cand {
+        match masks[..groups].iter().position(|&x| x == m) {
+            Some(i) => count[i] += 1,
+            None => {
+                masks[groups] = m;
+                count[groups] = 1;
+                groups += 1;
+            }
+        }
+    }
+    let (masks, count) = (&masks[..groups], &count[..groups]);
+    /// Tries to place one more unit of group `g`, reassigning previously
+    /// placed units along an augmenting path. `visited` marks positions
+    /// already explored in this augmentation.
+    fn augment(g: usize, masks: &[u64], owner: &mut [usize; 64], visited: &mut u64) -> bool {
+        loop {
+            let avail = masks[g] & !*visited;
+            if avail == 0 {
+                return false;
+            }
+            let bit = avail & avail.wrapping_neg();
+            let p = bit.trailing_zeros() as usize;
+            *visited |= bit;
+            if owner[p] == usize::MAX || augment(owner[p], masks, owner, visited) {
+                owner[p] = g;
+                return true;
+            }
+        }
+    }
+    let mut owner: [usize; 64] = [usize::MAX; 64];
+    for (g, &c) in count.iter().enumerate() {
+        for _ in 0..c {
+            let mut visited = 0u64;
+            if !augment(g, masks, &mut owner, &mut visited) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Fallback matcher for arities above 64 (no bitmasks).
@@ -126,6 +191,7 @@ fn config_matches_general(labels: &[Label], sets: &[LabelSet]) -> bool {
 /// rebuilding position sets per configuration probe. Arities above 64 take
 /// the allocation-per-leaf fallback.
 pub fn existential_constraint(meanings: &[LabelSet], d: &Constraint) -> Constraint {
+    let _sp = crate::profile::span(crate::profile::Stage::Existential);
     let s = d.arity();
     let m = meanings.len();
     if s > 64 {

@@ -141,6 +141,148 @@ impl LinePool {
     pub(crate) fn lines(&self) -> impl Iterator<Item = &[LabelSet]> + '_ {
         (0..self.len() as u32).map(|id| self.get(id))
     }
+
+    /// The component-union of line `id` (from its signature).
+    #[inline]
+    pub(crate) fn union_of(&self, id: u32) -> LabelSet {
+        self.sigs[id as usize].union
+    }
+}
+
+/// Signature-bucketed domination index over the engine's current
+/// antichain.
+///
+/// Every candidate line is filtered against the antichain ("does some kept
+/// line dominate it?"), and every installed line evicts the antichain
+/// members it dominates. A linear scan pays one signature check per
+/// member; this index instead maintains, per label, a bitset over
+/// antichain slots whose line-union contains the label, so
+///
+/// * **dominator candidates** of a line with union `U` are the AND of the
+///   rows of `U`'s labels (a dominator's union must contain `U`), and
+/// * **eviction candidates** of a line with union `U` are the alive slots
+///   hit by no row outside `U` (an evictee's union must be contained in
+///   `U`),
+///
+/// a handful of word operations each, sublinear in the antichain size and
+/// usually empty — only surviving slots pay the per-pair signature check
+/// and alignment matcher. Removed members are tombstoned (their row bits
+/// are cleared); slots are not reused within a run.
+#[derive(Debug, Default)]
+pub(crate) struct DomIndex {
+    /// Slot → line id.
+    slots: Vec<u32>,
+    /// Alive bitset over slots (tombstoned on eviction).
+    alive: Vec<u64>,
+    /// rows[label] = bitset over slots whose line-union contains label.
+    rows: Vec<Vec<u64>>,
+    /// Union of all labels ever inserted (bounds eviction queries).
+    used: LabelSet,
+}
+
+impl DomIndex {
+    fn words(&self) -> usize {
+        self.slots.len().div_ceil(64)
+    }
+
+    /// Registers `id` (with its component-union) as an antichain member.
+    pub(crate) fn insert(&mut self, id: u32, union: &LabelSet) {
+        let slot = self.slots.len();
+        self.slots.push(id);
+        let w = self.words();
+        if self.alive.len() < w {
+            self.alive.resize(w, 0);
+            for row in &mut self.rows {
+                row.resize(w, 0);
+            }
+        }
+        self.alive[slot / 64] |= 1u64 << (slot % 64);
+        for l in union.iter() {
+            let ix = l.index();
+            if self.rows.len() <= ix {
+                self.rows.resize_with(ix + 1, || vec![0u64; w]);
+            }
+            if self.rows[ix].len() < w {
+                self.rows[ix].resize(w, 0);
+            }
+            self.rows[ix][slot / 64] |= 1u64 << (slot % 64);
+            self.used.insert(l);
+        }
+    }
+
+    /// Tombstones the slot of `id` (must be a current member).
+    pub(crate) fn remove(&mut self, id: u32, union: &LabelSet) {
+        let slot = self
+            .slots
+            .iter()
+            .rposition(|&s| s == id)
+            .expect("removed id is a current antichain member");
+        self.alive[slot / 64] &= !(1u64 << (slot % 64));
+        for l in union.iter() {
+            self.rows[l.index()][slot / 64] &= !(1u64 << (slot % 64));
+        }
+    }
+
+    /// Calls `f` with the id of every alive member whose union is a
+    /// **superset** of `union` (the only possible dominators of a line
+    /// with that union); stops early when `f` returns `true` and reports
+    /// whether it did. `buf` is caller-owned query scratch (the parallel
+    /// close stage queries the shared index from several workers).
+    pub(crate) fn any_superset_candidate<F: FnMut(u32) -> bool>(
+        &self,
+        union: &LabelSet,
+        buf: &mut Vec<u64>,
+        f: F,
+    ) -> bool {
+        buf.clear();
+        buf.extend_from_slice(&self.alive);
+        for l in union.iter() {
+            let Some(row) = self.rows.get(l.index()) else {
+                return false; // no member's union contains l
+            };
+            for (b, &r) in buf.iter_mut().zip(row) {
+                *b &= r;
+            }
+        }
+        self.for_each_set_bit(buf, f)
+    }
+
+    /// Calls `f` with the id of every alive member whose union is a
+    /// **subset** of `union` (the only members a line with that union can
+    /// evict); stops early when `f` returns `true` and reports whether it
+    /// did.
+    pub(crate) fn any_subset_candidate<F: FnMut(u32) -> bool>(
+        &self,
+        union: &LabelSet,
+        buf: &mut Vec<u64>,
+        f: F,
+    ) -> bool {
+        buf.clear();
+        buf.extend_from_slice(&self.alive);
+        for l in self.used.difference(union).iter() {
+            let row = &self.rows[l.index()];
+            for (b, &r) in buf.iter_mut().zip(row) {
+                *b &= !r;
+            }
+        }
+        self.for_each_set_bit(buf, f)
+    }
+
+    /// Iterates ids of set bits in `buf`, in slot order.
+    fn for_each_set_bit<F: FnMut(u32) -> bool>(&self, buf: &[u64], mut f: F) -> bool {
+        for (wi, &word) in buf.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits & bits.wrapping_neg();
+                let slot = wi * 64 + bit.trailing_zeros() as usize;
+                if f(self.slots[slot]) {
+                    return true;
+                }
+                bits ^= bit;
+            }
+        }
+        false
+    }
 }
 
 /// Content hash of a line (xor-multiply mix over the raw bitset words).

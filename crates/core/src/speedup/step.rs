@@ -105,7 +105,17 @@ fn assemble(base: &Problem, lines: Vec<Line>, side: Side, name_suffix: &str) -> 
     // alphabet this engine generates; verify cheaply and skip the
     // suffixing machinery (and the alphabet's per-name duplicate probes)
     // on that common path.
-    let names: Vec<String> = meanings.iter().map(|m| set_name(base.alphabet(), m)).collect();
+    let mut names: Vec<String> = meanings.iter().map(|m| set_name(base.alphabet(), m)).collect();
+    // The ⟨…⟩ names nest across iterated steps and grow exponentially —
+    // two steps past a moderate problem they reach tens of kilobytes per
+    // label, and every downstream clone/hash/render of the problem drags
+    // them along. Once any name passes the cap, the whole alphabet falls
+    // back to short synthetic names; provenance stays machine-readable in
+    // `meanings` (and via `FullStep::meaning_in_base`).
+    const MAX_RENDERED_NAME: usize = 256;
+    if names.iter().any(|n| n.len() > MAX_RENDERED_NAME) {
+        names = (0..meanings.len()).map(|i| format!("s{i}")).collect();
+    }
     let unique = if names.len() <= 16 {
         (1..names.len()).all(|i| !names[..i].contains(&names[i]))
     } else {

@@ -67,7 +67,8 @@
 use crate::constraint::Constraint;
 use crate::label::Label;
 use crate::labelset::LabelSet;
-use crate::speedup::pool::LinePool;
+use crate::profile::{span, Stage};
+use crate::speedup::pool::{DomIndex, LinePool};
 use crate::trie::ConfigTrie;
 
 /// A multiset of label sets, canonically sorted. See module docs.
@@ -162,6 +163,16 @@ fn dominates_general(a: &[LabelSet], b: &[LabelSet]) -> bool {
 /// Domination between interned lines, signature pre-filter first.
 fn dominates_ids(pool: &LinePool, a: u32, b: u32) -> bool {
     a != b && pool.may_dominate(a, b) && dominates(pool.get(a), pool.get(b))
+}
+
+/// Whether any antichain member dominates line `id`: the signature-bucket
+/// index narrows the antichain to members whose union contains `id`'s
+/// (usually none), and only those run the per-pair filter and matcher.
+/// Accounted to the domination stage; the single point every antichain
+/// filter goes through. `buf` is per-caller query scratch.
+fn dominated_by_any(pool: &LinePool, dom: &DomIndex, id: u32, buf: &mut Vec<u64>) -> bool {
+    let _sp = span(Stage::Domination);
+    dom.any_superset_candidate(&pool.union_of(id), buf, |m| dominates_ids(pool, m, id))
 }
 
 /// All canonical merges of two lines (over all alignments and distinguished
@@ -289,6 +300,14 @@ struct MergeScratch {
 /// loop. The forced singleton rides as its own trailing group — two groups
 /// with equal sets enumerate the same choice multisets as one merged
 /// group, so coverage is unchanged.
+///
+/// Probes run the **plain** DFS, not the memoized one
+/// ([`ConfigTrie::all_choices_contained_memo`]): measured across the bench
+/// sweep (weak2 Δ=3..13, coloring k≤7, the autolb families), the
+/// completeness-annotated trie DFS answers probes faster than the memo's
+/// canonicalize-and-hash per state — at Δ=13 the memoized close stage
+/// costs 3× the plain one. The memo stays available (and property-tested)
+/// for workloads with heavier probe repetition.
 fn can_extend_grouped(l: Label, trie: &ConfigTrie, scratch: &mut CloseScratch) -> bool {
     scratch.groups.push((LabelSet::singleton(l), 1));
     let CloseScratch { groups, dfs } = scratch;
@@ -299,7 +318,7 @@ fn can_extend_grouped(l: Label, trie: &ConfigTrie, scratch: &mut CloseScratch) -
 
 /// Reusable buffers for [`close_line`] probes: the grouped components and
 /// the trie DFS working space. One per worker; no per-probe allocation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 struct CloseScratch {
     groups: Vec<(LabelSet, usize)>,
     dfs: crate::trie::DfsScratch,
@@ -315,14 +334,62 @@ struct CloseScratch {
 /// `can_extend` probe strictly harder (more choices must stay inside the
 /// constraint), so a pair that fails once can never succeed later and a
 /// second pass would find nothing new.
+///
+/// **Delta re-closure:** canonical lines keep equal components adjacent,
+/// and a position whose component equals its predecessor's sees the very
+/// same sibling grouping and missing-label set — *provided the
+/// predecessor's probes changed nothing*. Such positions are skipped
+/// outright (their probes would fail identically); only the groups the
+/// pass has actually affected are re-probed. High-degree lines repeat few
+/// distinct components many times, so this collapses the per-line probe
+/// count from Δ positions to the number of distinct groups. Equality with
+/// the skip-free closure is property-tested.
 fn close_line(line: &mut Line, trie: &ConfigTrie, universe: &LabelSet, scratch: &mut CloseScratch) {
+    // (component value at probe time, whether that probe grew anything)
+    let mut prev: Option<(LabelSet, bool)> = None;
+    for i in 0..line.len() {
+        if let Some((set, grew)) = prev {
+            if !grew && set == line[i] {
+                // Identical component, identical siblings, nothing changed
+                // since the previous probe: the same probes fail the same
+                // way.
+                continue;
+            }
+        }
+        let before = line[i];
+        let missing = universe.difference(&line[i]);
+        if missing.is_empty() {
+            prev = Some((before, false));
+            continue;
+        }
+        // The sibling groups are invariant while probing position `i` —
+        // only `line[i]` changes, and it is excluded from the grouping.
+        scratch.groups.clear();
+        group_components(line, i, &mut scratch.groups);
+        for l in missing.iter() {
+            if can_extend_grouped(l, trie, scratch) {
+                line[i].insert(l);
+            }
+        }
+        prev = Some((before, line[i] != before));
+    }
+    line.sort_unstable();
+}
+
+/// [`close_line`] without the delta skip: probes every position
+/// unconditionally. Oracle for the delta-equality property test.
+#[cfg(test)]
+fn close_line_full(
+    line: &mut Line,
+    trie: &ConfigTrie,
+    universe: &LabelSet,
+    scratch: &mut CloseScratch,
+) {
     for i in 0..line.len() {
         let missing = universe.difference(&line[i]);
         if missing.is_empty() {
             continue;
         }
-        // The sibling groups are invariant while probing position `i` —
-        // only `line[i]` changes, and it is excluded from the grouping.
         scratch.groups.clear();
         group_components(line, i, &mut scratch.groups);
         for l in missing.iter() {
@@ -446,6 +513,8 @@ fn maximal_good_lines_impl(c: &Constraint, threads: usize, par_min: usize) -> Ve
     let mut pool = LinePool::new(c.arity());
     let mut enqueued: Vec<bool> = Vec::new();
     let mut antichain: Vec<u32> = Vec::new();
+    let mut dom = DomIndex::default();
+    let mut dombuf: Vec<u64> = Vec::new();
     let mut queue: Vec<u32> = Vec::new();
     let mut close_scratch = CloseScratch::default();
     let mut merge_scratch = MergeScratch::default();
@@ -471,7 +540,10 @@ fn maximal_good_lines_impl(c: &Constraint, threads: usize, par_min: usize) -> Ve
             continue;
         }
         let mut line: Line = cfg.iter().map(LabelSet::singleton).collect();
-        close_line(&mut line, trie, &universe, &mut close_scratch);
+        {
+            let _sp = span(Stage::Close);
+            close_line(&mut line, trie, &universe, &mut close_scratch);
+        }
         let (id, _) = pool.intern(&line);
         enqueued.resize(pool.len(), false);
         if !enqueued[id as usize] {
@@ -487,7 +559,7 @@ fn maximal_good_lines_impl(c: &Constraint, threads: usize, par_min: usize) -> Ve
     while !queue.is_empty() {
         let mut batch = std::mem::take(&mut queue);
         // Skip lines the antichain already dominates.
-        batch.retain(|&id| !antichain.iter().any(|&m| dominates_ids(&pool, m, id)));
+        batch.retain(|&id| !dominated_by_any(&pool, &dom, id, &mut dombuf));
 
         // Stage 1: merge every batch line with itself, the antichain, and
         // every later batch line.
@@ -508,6 +580,7 @@ fn maximal_good_lines_impl(c: &Constraint, threads: usize, par_min: usize) -> Ve
                 par_min,
                 pair_weight,
                 |indices: &[usize]| {
+                    let _sp = span(Stage::Merge);
                     let mut local = LinePool::new(c.arity());
                     let mut scratch = MergeScratch::default();
                     for &bi in indices {
@@ -546,6 +619,7 @@ fn maximal_good_lines_impl(c: &Constraint, threads: usize, par_min: usize) -> Ve
                     candidates.push(id);
                 }
             }
+            let _sp = span(Stage::Merge);
             let scratch = &mut merge_scratch;
             for bi in 0..batch.len() {
                 line_buf.clear();
@@ -570,19 +644,35 @@ fn maximal_good_lines_impl(c: &Constraint, threads: usize, par_min: usize) -> Ve
             }
         }
 
-        // Install the batch, evicting dominated antichain entries.
+        // Install the batch, evicting dominated antichain entries (the
+        // index narrows the eviction scan to members whose union the new
+        // line's contains).
         for &id in &batch {
-            if antichain.iter().any(|&m| dominates_ids(&pool, m, id)) {
+            if dominated_by_any(&pool, &dom, id, &mut dombuf) {
                 continue;
             }
-            antichain.retain(|&m| !dominates_ids(&pool, id, m));
+            let _sp = span(Stage::Domination);
+            let mut evicted: Vec<u32> = Vec::new();
+            dom.any_subset_candidate(&pool.union_of(id), &mut dombuf, |m| {
+                if dominates_ids(&pool, id, m) {
+                    evicted.push(m);
+                }
+                false
+            });
+            for &m in &evicted {
+                dom.remove(m, &pool.union_of(m));
+            }
+            if !evicted.is_empty() {
+                antichain.retain(|m| !evicted.contains(m));
+            }
             antichain.push(id);
+            dom.insert(id, &pool.union_of(id));
         }
         // Stage 2: close the surviving candidates and enqueue the fresh
         // closures.
         if threads > 1 && candidates.len() >= par_min {
             let pool_ref = &pool;
-            let antichain_ref = &antichain;
+            let dom_ref = &dom;
             let closed_chunks: Vec<Vec<Option<Line>>> = par_chunks(
                 &candidates,
                 threads,
@@ -590,11 +680,13 @@ fn maximal_good_lines_impl(c: &Constraint, threads: usize, par_min: usize) -> Ve
                 |_| 1,
                 |ids: &[u32]| {
                     let mut close_scratch = CloseScratch::default();
+                    let mut dombuf: Vec<u64> = Vec::new();
                     ids.iter()
                         .map(|&id| {
-                            if antichain_ref.iter().any(|&m| dominates_ids(pool_ref, m, id)) {
+                            if dominated_by_any(pool_ref, dom_ref, id, &mut dombuf) {
                                 return None;
                             }
+                            let _sp = span(Stage::Close);
                             let mut line = pool_ref.get(id).to_vec();
                             close_line(&mut line, trie, &universe, &mut close_scratch);
                             Some(line)
@@ -605,9 +697,7 @@ fn maximal_good_lines_impl(c: &Constraint, threads: usize, par_min: usize) -> Ve
             for closed in closed_chunks.into_iter().flatten().flatten() {
                 let (cid, _) = pool.intern(&closed);
                 enqueued.resize(pool.len(), false);
-                if !enqueued[cid as usize]
-                    && !antichain.iter().any(|&m| dominates_ids(&pool, m, cid))
-                {
+                if !enqueued[cid as usize] && !dominated_by_any(&pool, &dom, cid, &mut dombuf) {
                     enqueued[cid as usize] = true;
                     queue.push(cid);
                 }
@@ -618,17 +708,18 @@ fn maximal_good_lines_impl(c: &Constraint, threads: usize, par_min: usize) -> Ve
             // interleaving matches the barrier version candidate for
             // candidate.
             for &id in &candidates {
-                if antichain.iter().any(|&m| dominates_ids(&pool, m, id)) {
+                if dominated_by_any(&pool, &dom, id, &mut dombuf) {
                     continue;
                 }
                 line_buf.clear();
                 line_buf.extend_from_slice(pool.get(id));
-                close_line(&mut line_buf, trie, &universe, &mut close_scratch);
+                {
+                    let _sp = span(Stage::Close);
+                    close_line(&mut line_buf, trie, &universe, &mut close_scratch);
+                }
                 let (cid, _) = pool.intern(&line_buf);
                 enqueued.resize(pool.len(), false);
-                if !enqueued[cid as usize]
-                    && !antichain.iter().any(|&m| dominates_ids(&pool, m, cid))
-                {
+                if !enqueued[cid as usize] && !dominated_by_any(&pool, &dom, cid, &mut dombuf) {
                     enqueued[cid as usize] = true;
                     queue.push(cid);
                 }
@@ -642,7 +733,7 @@ fn maximal_good_lines_impl(c: &Constraint, threads: usize, par_min: usize) -> Ve
     // rejects most candidate pairs before the alignment matcher runs.
     let mut result: Vec<Line> = antichain
         .iter()
-        .filter(|&&id| !antichain.iter().any(|&m| dominates_ids(&pool, m, id)))
+        .filter(|&&id| !dominated_by_any(&pool, &dom, id, &mut dombuf))
         .map(|&id| pool.get(id).to_vec())
         .collect();
     result.sort();
@@ -864,6 +955,55 @@ mod tests {
             let fast = maximal_good_lines(&c);
             let slow = maximal_good_lines_bruteforce(&c, &univ);
             assert_eq!(fast, slow, "trial {trial} mismatch for constraint {c:?}");
+        }
+    }
+
+    #[test]
+    fn delta_reclosure_equals_full_reclosure() {
+        use rand::{Rng, SeedableRng};
+        // The probe-skip in `close_line` (equal adjacent components whose
+        // predecessor's probes changed nothing) must close every line to
+        // exactly what the skip-free pass produces — including lines with
+        // high component multiplicities, where the skip actually fires.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xDE17A);
+        for trial in 0..80 {
+            let n = rng.gen_range(2..=5);
+            let arity = rng.gen_range(3..=6);
+            let mut c = Constraint::new(arity).unwrap();
+            for m in crate::config::all_multisets(n, arity) {
+                if rng.gen_bool(0.4) {
+                    c.insert(m).unwrap();
+                }
+            }
+            if c.is_empty() {
+                continue;
+            }
+            let trie = c.trie();
+            let universe = *trie.universe();
+            for _ in 0..20 {
+                // Random canonical line, biased toward repeated components.
+                let mut distinct: Vec<LabelSet> = Vec::new();
+                for _ in 0..rng.gen_range(1..=2usize) {
+                    let mut s = LabelSet::empty();
+                    for i in 0..n {
+                        if rng.gen_bool(0.5) {
+                            s.insert(Label::from_index(i));
+                        }
+                    }
+                    if s.is_empty() {
+                        s.insert(Label::from_index(rng.gen_range(0..n)));
+                    }
+                    distinct.push(s);
+                }
+                let mut line: Line =
+                    (0..arity).map(|_| distinct[rng.gen_range(0..distinct.len())]).collect();
+                line.sort_unstable();
+                let mut with_delta = line.clone();
+                let mut without = line;
+                close_line(&mut with_delta, trie, &universe, &mut CloseScratch::default());
+                close_line_full(&mut without, trie, &universe, &mut CloseScratch::default());
+                assert_eq!(with_delta, without, "trial {trial} constraint {c:?}");
+            }
         }
     }
 

@@ -27,6 +27,7 @@
 
 use crate::config::Config;
 use crate::label::Label;
+use crate::labelset::LabelSet;
 use crate::problem::Problem;
 
 /// A witness that a problem is 0-round solvable in the plain PN model: the
@@ -90,31 +91,155 @@ pub struct OrientedZeroRoundWitness {
 /// 0, …, Δ occur and each needs a plan. (Indegree 0 has only out-ports and
 /// indegree Δ only in-ports; their cross conditions still apply.)
 ///
-/// This decider searches over all splits of all node configurations per
-/// indegree, which is exponential in Δ in the worst case; it is intended
-/// for the small instantiated problems the generic engine handles.
+/// The decider reduces each candidate split to its `(in, out)` support
+/// pair (Pareto-pruned per indegree) and backtracks over one view per
+/// indegree with the accumulated `(in-union, compatible-set)` state
+/// memoized on failure — every condition is a bitset subset test against
+/// precomputed edge-compatibility rows. The automated bound search runs
+/// this decider on every new canonical class, so it sits on the autolb
+/// hot path.
 pub fn zero_round_oriented(p: &Problem) -> Option<OrientedZeroRoundWitness> {
     let delta = p.delta();
-    // Enumerate candidate splits per indegree: (multiset_in, multiset_out).
-    let mut options: Vec<Vec<(Vec<Label>, Vec<Label>)>> = Vec::with_capacity(delta + 1);
-    for k in 0..=delta {
-        let mut opts = Vec::new();
-        for cfg in p.node().iter() {
-            splits_of(cfg, k, &mut opts);
+    let n = p.alphabet().len();
+    // Per-label edge-compatibility rows: every cross condition reduces to
+    // bitset subset tests against these.
+    let row = p.edge_rows();
+    // cl(S) = labels compatible with every label of S.
+    let cl = |s: &LabelSet| -> LabelSet {
+        let mut out = LabelSet::first_n(n);
+        for l in s.iter() {
+            out = out.intersection(&row[l.index()]);
         }
-        if opts.is_empty() {
+        out
+    };
+
+    // Candidate views per indegree. Correctness depends only on the label
+    // *supports* of a view (the adversary wires ports by label, not by
+    // multiplicity), so splits are deduplicated by their (in, out) support
+    // pair — one representative multiset is kept for the witness — and
+    // Pareto-pruned: a view whose supports contain another view's supports
+    // imposes strictly more cross constraints and can never help. The old
+    // decider backtracked over every multiset split of every configuration,
+    // which made 0-round checks the dominant cost of the automated bound
+    // search on derived problems.
+    let mut options: Vec<Vec<View>> = Vec::with_capacity(delta + 1);
+    let mut splits: Vec<(Vec<Label>, Vec<Label>)> = Vec::new();
+    for k in 0..=delta {
+        splits.clear();
+        for cfg in p.node().iter() {
+            splits_of(cfg, k, &mut splits);
+        }
+        let mut views: Vec<View> = Vec::new();
+        for (ins, outs) in splits.drain(..) {
+            let ins_set = LabelSet::from_labels(ins.iter().copied());
+            let outs_set = LabelSet::from_labels(outs.iter().copied());
+            if views.iter().any(|v| v.ins_set == ins_set && v.outs_set == outs_set) {
+                continue;
+            }
+            let cl_out = cl(&outs_set);
+            // Self cross condition: any out-port may face any in-port of
+            // the same view (the adversary can pair a node with a copy of
+            // itself).
+            if !ins_set.is_subset(&cl_out) {
+                continue;
+            }
+            views.push(View { ins_set, outs_set, cl_out, ins, outs });
+        }
+        // Pareto prune (quadratic in the deduplicated view count); ties on
+        // equal support pairs cannot occur after the dedup above.
+        let dominated: Vec<bool> = (0..views.len())
+            .map(|i| {
+                views.iter().enumerate().any(|(j, w)| {
+                    j != i
+                        && w.ins_set.is_subset(&views[i].ins_set)
+                        && w.outs_set.is_subset(&views[i].outs_set)
+                })
+            })
+            .collect();
+        let mut it = dominated.iter();
+        views.retain(|_| !*it.next().expect("one flag per view"));
+        if views.is_empty() {
             return None;
         }
-        options.push(opts);
+        options.push(views);
     }
-    // Choose one split per indegree so that all cross pairs are compatible.
-    // Track chosen in-label set and out-label set globally.
-    let mut chosen: Vec<usize> = Vec::with_capacity(delta + 1);
-    if search(p, &options, 0, &mut chosen) {
-        let plans = chosen.iter().enumerate().map(|(k, &ix)| options[k][ix].clone()).collect();
+
+    // Choose one view per indegree. The only global state that matters is
+    // `(ins_all, cap_in)`: the union of chosen in-supports and the set of
+    // labels still usable on in-ports (compatible with every chosen
+    // out-label). Adding a view requires `ins_all ⊆ cl(view.outs)` and
+    // `view.ins ⊆ cap_in`; failed states are memoized, which turns the
+    // exponential split search into a walk over distinct set pairs.
+    let mut order: Vec<usize> = (0..=delta).collect();
+    order.sort_by_key(|&k| options[k].len());
+    let mut chosen: Vec<usize> = vec![usize::MAX; delta + 1];
+    let mut failed: std::collections::HashSet<(usize, LabelSet, LabelSet)> =
+        std::collections::HashSet::new();
+    if choose(
+        &options,
+        &order,
+        0,
+        LabelSet::empty(),
+        LabelSet::first_n(n),
+        &mut chosen,
+        &mut failed,
+    ) {
+        let plans = chosen
+            .iter()
+            .enumerate()
+            .map(|(k, &ix)| (options[k][ix].ins.clone(), options[k][ix].outs.clone()))
+            .collect();
         return Some(OrientedZeroRoundWitness { plans });
     }
     None
+}
+
+/// One candidate 0-round view: a split of a node configuration into
+/// in-port and out-port labels, reduced to the sets the search needs.
+struct View {
+    /// Support of the in-port labels.
+    ins_set: LabelSet,
+    /// Support of the out-port labels.
+    outs_set: LabelSet,
+    /// Labels compatible with every out-label of this view.
+    cl_out: LabelSet,
+    /// Representative in-port multiset (for the witness).
+    ins: Vec<Label>,
+    /// Representative out-port multiset (for the witness).
+    outs: Vec<Label>,
+}
+
+/// Backtracking view choice for [`zero_round_oriented`], with failure
+/// memoization on the `(level, ins_all, cap_in)` state.
+fn choose(
+    options: &[Vec<View>],
+    order: &[usize],
+    level: usize,
+    ins_all: LabelSet,
+    cap_in: LabelSet,
+    chosen: &mut [usize],
+    failed: &mut std::collections::HashSet<(usize, LabelSet, LabelSet)>,
+) -> bool {
+    if level == order.len() {
+        return true;
+    }
+    if failed.contains(&(level, ins_all, cap_in)) {
+        return false;
+    }
+    let k = order[level];
+    for (ix, v) in options[k].iter().enumerate() {
+        if v.ins_set.is_subset(&cap_in) && ins_all.is_subset(&v.cl_out) {
+            chosen[k] = ix;
+            let ins2 = ins_all.union(&v.ins_set);
+            let cap2 = cap_in.intersection(&v.cl_out);
+            if choose(options, order, level + 1, ins2, cap2, chosen, failed) {
+                return true;
+            }
+            chosen[k] = usize::MAX;
+        }
+    }
+    failed.insert((level, ins_all, cap_in));
+    false
 }
 
 fn splits_of(cfg: &Config, k: usize, out: &mut Vec<(Vec<Label>, Vec<Label>)>) {
@@ -167,39 +292,6 @@ fn splits_of(cfg: &Config, k: usize, out: &mut Vec<(Vec<Label>, Vec<Label>)>) {
             idx[j] = idx[j - 1] + 1;
         }
     }
-}
-
-fn search(
-    p: &Problem,
-    options: &[Vec<(Vec<Label>, Vec<Label>)>],
-    k: usize,
-    chosen: &mut Vec<usize>,
-) -> bool {
-    if k == options.len() {
-        return true;
-    }
-    'opt: for (ix, (ins, outs)) in options[k].iter().enumerate() {
-        // Cross-compatibility against previously chosen views and itself.
-        for (k2, &ix2) in chosen.iter().enumerate() {
-            let (ins2, outs2) = &options[k2][ix2];
-            if !cross_ok(p, outs, ins2) || !cross_ok(p, outs2, ins) {
-                continue 'opt;
-            }
-        }
-        if !cross_ok(p, outs, ins) {
-            continue 'opt;
-        }
-        chosen.push(ix);
-        if search(p, options, k + 1, chosen) {
-            return true;
-        }
-        chosen.pop();
-    }
-    false
-}
-
-fn cross_ok(p: &Problem, outs: &[Label], ins: &[Label]) -> bool {
-    outs.iter().all(|&o| ins.iter().all(|&i| p.edge_ok(o, i)))
 }
 
 #[cfg(test)]

@@ -4,13 +4,13 @@
 //! ```text
 //! roundelim zoo                          list the problem families
 //! roundelim show <family> [k] [Δ]        print a family instance
-//! roundelim speedup <file|family:k:Δ> [--json]
+//! roundelim speedup <file|family:k:Δ> [--json] [--profile]
 //!                                        one speedup step, with provenance
 //! roundelim iterate <file|family:k:Δ> [--steps N] [--relax FILE]... [--json]
 //!                                        iterate to a verdict (§2.1 roadmap),
 //!                                        relaxing to templates when given
 //! roundelim autolb <file|family:k:Δ> [--steps N] [--beam N] [--max-labels N]
-//!                  [--threads N] [--no-relax] [--cert FILE] [--json]
+//!                  [--threads N] [--no-relax] [--cert FILE] [--json] [--profile]
 //!                                        automated lower-bound search
 //! roundelim autolb --sweep [--json]      autolb over the registry sweep set
 //! roundelim autoub <file|family:k:Δ> [same flags as autolb]
@@ -61,10 +61,10 @@ fn load(spec: &str) -> Result<Problem, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  roundelim zoo\n  roundelim show <family> [k] [Δ]\n  \
-         roundelim speedup <file|family:k:Δ> [--json]\n  \
+         roundelim speedup <file|family:k:Δ> [--json] [--profile]\n  \
          roundelim iterate <file|family:k:Δ> [--steps N] [--relax FILE]... [--json]\n  \
          roundelim autolb <file|family:k:Δ|--sweep> [--steps N] [--beam N] \
-         [--max-labels N] [--threads N] [--no-relax] [--cert FILE] [--json]\n  \
+         [--max-labels N] [--threads N] [--no-relax] [--cert FILE] [--json] [--profile]\n  \
          roundelim autoub <file|family:k:Δ> [autolb flags]\n  \
          roundelim cert verify <file> [--json]\n  \
          roundelim zero-round <file|family:k:Δ>\n  \
@@ -102,16 +102,32 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Runs `f` under stage profiling when `--profile` is present, printing the
+/// per-stage breakdown to **stderr** afterwards (stdout stays parseable
+/// under `--json`).
+fn with_profile<T>(args: &[String], f: impl FnOnce() -> T) -> T {
+    use roundelim::core::profile;
+    if !has_flag(args, "--profile") {
+        return f();
+    }
+    profile::reset();
+    profile::set_enabled(true);
+    let out = f();
+    profile::set_enabled(false);
+    eprint!("{}", profile::report());
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };
     let result = match cmd.as_str() {
         "zoo" => cmd_zoo(),
         "show" => cmd_show(&args[1..]),
-        "speedup" => cmd_speedup(&args[1..]),
+        "speedup" => with_profile(&args[1..], || cmd_speedup(&args[1..])),
         "iterate" => cmd_iterate(&args[1..]),
-        "autolb" => cmd_auto(&args[1..], true),
-        "autoub" => cmd_auto(&args[1..], false),
+        "autolb" => with_profile(&args[1..], || cmd_auto(&args[1..], true)),
+        "autoub" => with_profile(&args[1..], || cmd_auto(&args[1..], false)),
         "cert" => cmd_cert(&args[1..]),
         "zero-round" => cmd_zero_round(&args[1..]),
         "iso" => cmd_iso(&args[1..]),

@@ -177,6 +177,48 @@ fn iterate_accepts_relaxation_templates() {
 }
 
 #[test]
+fn profile_flag_prints_stage_breakdown_on_stderr() {
+    // --profile must leave stdout intact (JSON stays parseable) and print
+    // the per-stage breakdown to stderr, including every stage the CI
+    // artifact greps for.
+    let out = cli()
+        .args(["speedup", "weak-coloring:2:5", "--json", "--profile"])
+        .output()
+        .expect("spawn roundelim");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "stdout still JSON:\n{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("per-stage breakdown"), "{stderr}");
+    // The report always names every stage; the load-bearing assertion is
+    // that the stages a speedup step actually runs recorded spans.
+    let span_count = |stderr: &str, stage: &str| -> u64 {
+        let line = stderr
+            .lines()
+            .find(|l| l.trim_start().starts_with(stage))
+            .unwrap_or_else(|| panic!("missing `{stage}` in:\n{stderr}"));
+        let inner = line.rsplit('(').next().expect("span suffix");
+        inner.split_whitespace().next().expect("count").parse().expect("numeric span count")
+    };
+    for stage in ["merge", "close", "domination", "existential"] {
+        assert!(span_count(&stderr, stage) > 0, "`{stage}` recorded no spans:\n{stderr}");
+    }
+    // autolb --profile records the search stages too.
+    let out = cli()
+        .args(["autolb", "sinkless-orientation::3", "--profile"])
+        .output()
+        .expect("spawn roundelim");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for stage in ["relax-closure", "zero-round", "step"] {
+        assert!(span_count(&stderr, stage) > 0, "`{stage}` recorded no spans:\n{stderr}");
+    }
+    // Without the flag, no breakdown is printed.
+    let out = cli().args(["speedup", "weak-coloring:2:5"]).output().expect("spawn roundelim");
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("per-stage breakdown"));
+}
+
+#[test]
 fn speedup_and_iterate_emit_json() {
     let out = run_ok(&["speedup", "sinkless-coloring::3", "--json"]);
     for key in ["\"base\"", "\"half_step\"", "\"full_step\"", "\"labels\""] {
