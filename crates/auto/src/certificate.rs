@@ -152,6 +152,24 @@ impl Certificate {
     /// Returns the first failed check. Engine errors during replay (e.g.
     /// alphabet overflow re-running a step) also reject the certificate.
     pub fn verify(&self) -> std::result::Result<(), CertError> {
+        self.verify_impl(false)
+    }
+
+    /// Like [`Certificate::verify`] but skips the per-edge [`full_step`]
+    /// replay, the dominant cost on long chains. Still checked: chain
+    /// shape, every relax/harden/isomorphism witness, 0-round solvability
+    /// of every chain problem, and the verdict arithmetic. A `--fast` green
+    /// light therefore trusts the recorded step results but nothing else;
+    /// use the full [`Certificate::verify`] for an end-to-end replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check, as in [`Certificate::verify`].
+    pub fn verify_fast(&self) -> std::result::Result<(), CertError> {
+        self.verify_impl(true)
+    }
+
+    fn verify_impl(&self, fast: bool) -> std::result::Result<(), CertError> {
         if self.problems.len() != self.edges.len() + 1 {
             return fail(format!(
                 "chain shape: {} problems need {} edges, found {}",
@@ -166,6 +184,9 @@ impl Certificate {
             let (cur, next) = (&self.problems[i], &self.problems[i + 1]);
             match edge {
                 Edge::Step => {
+                    if fast {
+                        continue;
+                    }
                     let derived = match full_step(cur) {
                         Ok(s) => s.problem().clone(),
                         Err(e) => return fail(format!("edge {i}: step replay failed: {e}")),
@@ -455,6 +476,52 @@ mod tests {
     #[test]
     fn fixed_point_certificate_verifies() {
         fixed_point_cert().verify().unwrap();
+    }
+
+    #[test]
+    fn fast_verify_accepts_what_full_verify_accepts() {
+        let cert = fixed_point_cert();
+        cert.verify().unwrap();
+        cert.verify_fast().unwrap();
+    }
+
+    #[test]
+    fn fast_verify_still_checks_witnesses_and_arithmetic() {
+        // Corrupt iso witness: both modes reject.
+        let mut cert = fixed_point_cert();
+        if let CertVerdict::Unbounded { iso_map, .. } = &mut cert.verdict {
+            for l in iso_map.iter_mut() {
+                *l = Label::from_index(0);
+            }
+        }
+        assert!(cert.verify_fast().is_err());
+        // Over-claimed bound: both modes reject.
+        let p = sc();
+        let next = full_step(&p).unwrap().problem().clone();
+        let over = Certificate {
+            direction: Direction::Lower,
+            model: ZeroRoundModel::Oriented,
+            problems: vec![p, next],
+            edges: vec![Edge::Step],
+            verdict: CertVerdict::LowerBound { rounds: 5 },
+        };
+        assert!(over.verify_fast().is_err());
+    }
+
+    #[test]
+    fn fast_verify_trusts_recorded_step_results() {
+        // Replace a mid-chain problem with a copy of its predecessor: the
+        // full replay notices the step result no longer matches; the fast
+        // path — which skips exactly that replay — does not. This pins the
+        // documented trust boundary of `--fast`.
+        let mut cert = fixed_point_cert();
+        cert.verdict = CertVerdict::LowerBound { rounds: 1 };
+        assert!(cert.problems.len() >= 2);
+        cert.problems[1] = cert.problems[0].clone();
+        assert!(cert.verify().is_err(), "full verify must catch the forged step");
+        cert.verify_fast().unwrap_or_else(|e| {
+            panic!("fast verify checks witnesses only, so this must pass: {e}")
+        });
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * `A2_autolb_coloring`    — k = 3 at Δ = 3, beam 6 (the relax-closure
 //!   stress case: oversized intermediates, subset-row pruning, fingerprint
 //!   dedup)
+//! * `S1_generate_regular`   — seeded random Δ-regular graph at n = 10⁵,
+//!   Δ = 3, 4 (single worker: the CSR build + matching-union hot path)
+//! * `S2_stream_check`       — streaming checker over a valid 2-coloring
+//!   of a 2¹⁷-node ring (single worker: the chunked per-edge hot path)
 //!
 //! The `A*` searches share the process-wide exact `full_step` memo, so
 //! from the second iteration on they measure the steady-state search —
@@ -25,10 +29,14 @@
 
 use roundelim_auto::search::{autolb, SearchOptions, Verdict};
 use roundelim_bench::{calibrate_iters, measure, to_json, Measurement};
+use roundelim_core::label::Label;
 use roundelim_core::speedup::{full_step, half_step_edge};
 use roundelim_problems::coloring::coloring;
 use roundelim_problems::sinkless::{sinkless_coloring, sinkless_orientation};
 use roundelim_problems::weak::weak_coloring_pointer;
+use roundelim_sim::checker::{check_stream, CheckOptions};
+use roundelim_sim::generate::{cycle, random_regular_seeded};
+use roundelim_sim::runner::FlatOutputs;
 use std::hint::black_box;
 
 const SAMPLES: usize = 5;
@@ -94,6 +102,31 @@ fn main() {
         );
         black_box(out);
     });
+
+    // Million-node-path smoke: graph generation and the streaming checker
+    // at a size where the CSR layout and chunking dominate, single worker
+    // so the number is comparable across differently-sized CI boxes.
+    for delta in [3usize, 4] {
+        case(&mut results, "S1_generate_regular", delta, || {
+            let g = random_regular_seeded(100_000, delta, 64, 0xC0FFEE, 1)
+                .expect("regular graph at this size");
+            assert!(g.is_regular(delta));
+            black_box(g);
+        });
+    }
+    {
+        let n = 1 << 17;
+        let g = cycle(n);
+        let p = coloring(3, 2).expect("valid k");
+        let rows: Vec<Vec<Label>> = (0..n).map(|v| vec![Label::from_index(v % 2); 2]).collect();
+        let flat = FlatOutputs::from_rows(&g, &rows);
+        let opts = CheckOptions { threads: 1, ..CheckOptions::default() };
+        case(&mut results, "S2_stream_check", n, || {
+            let report = check_stream(&p, &g, &flat, &opts);
+            assert!(report.is_valid(), "the alternating ring coloring is valid");
+            black_box(report);
+        });
+    }
 
     let path = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_speedup.json".to_owned());
     std::fs::write(&path, to_json(&results)).expect("write BENCH_speedup.json");

@@ -121,6 +121,66 @@ pub fn sweep_specs() -> &'static [SweepSpec] {
     ]
 }
 
+/// One case of the sim-vs-bound cross-validation sweep: a zoo instance
+/// paired with the simulator algorithm that solves it and the graph family
+/// it runs on (`roundelim-sim`'s crossval module resolves both names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossvalSpec {
+    /// Family name, resolvable via [`family`].
+    pub family: &'static str,
+    /// The `k` parameter (0 for families that ignore it).
+    pub k: usize,
+    /// The degree Δ (the sweep runs on Δ-regular instances).
+    pub delta: usize,
+    /// Simulator algorithm: `"cole-vishkin"`, `"greedy-mis"`,
+    /// `"greedy-matching"`, or `"weak2"`.
+    pub algorithm: &'static str,
+    /// Graph family: `"ring"` (Δ = 2) or `"random-regular"`.
+    pub graph: &'static str,
+}
+
+/// The default sim-vs-bound sweep: every zoo family with a shipped
+/// simulator algorithm, on instances the bound engine also certifies.
+pub fn crossval_specs() -> &'static [CrossvalSpec] {
+    &[
+        CrossvalSpec {
+            family: "coloring",
+            k: 3,
+            delta: 2,
+            algorithm: "cole-vishkin",
+            graph: "ring",
+        },
+        CrossvalSpec {
+            family: "mis",
+            k: 0,
+            delta: 3,
+            algorithm: "greedy-mis",
+            graph: "random-regular",
+        },
+        CrossvalSpec {
+            family: "mis",
+            k: 0,
+            delta: 4,
+            algorithm: "greedy-mis",
+            graph: "random-regular",
+        },
+        CrossvalSpec {
+            family: "maximal-matching",
+            k: 0,
+            delta: 3,
+            algorithm: "greedy-matching",
+            graph: "random-regular",
+        },
+        CrossvalSpec {
+            family: "weak-coloring",
+            k: 2,
+            delta: 3,
+            algorithm: "weak2",
+            graph: "random-regular",
+        },
+    ]
+}
+
 /// Looks up a family by name.
 ///
 /// # Errors
@@ -159,6 +219,23 @@ mod tests {
             let f = family(s.family).unwrap_or_else(|e| panic!("{}: {e}", s.family));
             let p = f.instantiate(s.k, s.delta).unwrap_or_else(|e| panic!("{}: {e}", s.family));
             assert_eq!(p.delta(), s.delta);
+        }
+    }
+
+    #[test]
+    fn crossval_specs_all_instantiate() {
+        for s in crossval_specs() {
+            let f = family(s.family).unwrap_or_else(|e| panic!("{}: {e}", s.family));
+            let p = f.instantiate(s.k, s.delta).unwrap_or_else(|e| panic!("{}: {e}", s.family));
+            assert_eq!(p.delta(), s.delta);
+            assert!(
+                ["cole-vishkin", "greedy-mis", "greedy-matching", "weak2"].contains(&s.algorithm),
+                "unknown algorithm {}",
+                s.algorithm
+            );
+            assert!(["ring", "random-regular"].contains(&s.graph), "unknown graph {}", s.graph);
+            // Ring cases are Δ = 2 by construction.
+            assert!(s.graph != "ring" || s.delta == 2);
         }
     }
 

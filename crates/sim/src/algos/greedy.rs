@@ -109,6 +109,14 @@ impl Distributed for GreedyMis {
             }
         }
     }
+
+    fn done(&self, state: &MisState) -> bool {
+        // A decided node's output is final; covered nodes record their
+        // witness at the transition. With random IDs the phases retire
+        // nodes geometrically, so `run_adaptive` finishes in O(log n)
+        // expected rounds instead of the worst-case mis_rounds(n).
+        state.status != MisStatus::Undecided
+    }
 }
 
 /// Greedy maximal matching: an unmatched node proposes to its
@@ -193,6 +201,14 @@ impl Distributed for GreedyMatching {
             None => vec![p; state.degree],
         }
     }
+
+    fn done(&self, state: &MatchState) -> bool {
+        // Matched nodes are final; an unmatched node is final once every
+        // neighbor is known-matched (its all-P output is then maximal).
+        // When *all* nodes satisfy this the matching is maximal, so
+        // `run_adaptive` may stop.
+        state.matched_port.is_some() || state.neighbor_matched.iter().all(|&b| b)
+    }
 }
 
 impl GreedyMatching {
@@ -253,5 +269,20 @@ mod tests {
         let out = run(&g, &id_inputs(&g), &GreedyMatching, matching_rounds(8));
         let p = maximal_matching(2).unwrap();
         assert!(is_valid(&p, &g, &out));
+    }
+
+    #[test]
+    fn adaptive_runs_converge_to_valid_outputs() {
+        use crate::runner::run_adaptive;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 64;
+        let g = random_regular(n, 3, 20000, &mut rng).unwrap();
+        let (out, rounds) = run_adaptive(&g, &id_inputs(&g), &GreedyMis, mis_rounds(n));
+        assert!(rounds <= mis_rounds(n));
+        assert!(is_valid(&mis(3).unwrap(), &g, &out.clone().into_rows(&g)));
+        let (out, rounds) = run_adaptive(&g, &id_inputs(&g), &GreedyMatching, matching_rounds(n));
+        assert!(rounds <= matching_rounds(n));
+        assert!(is_valid(&maximal_matching(3).unwrap(), &g, &out.into_rows(&g)));
     }
 }

@@ -1,7 +1,16 @@
 //! Graph generators for the high-girth classes the theorems quantify over.
+//!
+//! The random generators are **counter-based and deterministic**: a graph
+//! is a pure function of `(n, d, tries, seed)`. Randomness comes from a
+//! SplitMix64-style hash of per-index counters, and random permutations
+//! are realized by sorting nodes by `(hash, id)` keys — a strict total
+//! order — so the result is bit-identical for every worker-thread count
+//! (`ROUNDELIM_THREADS`), which the cross-validation CI job diffs.
 
 use crate::graph::PortGraph;
+use crate::par;
 use rand::Rng;
+use std::collections::HashSet;
 
 /// The n-cycle (Δ = 2, girth n) — the graph class of §4.5.
 ///
@@ -10,8 +19,8 @@ use rand::Rng;
 /// Panics for `n < 3`.
 pub fn cycle(n: usize) -> PortGraph {
     assert!(n >= 3, "a cycle needs at least 3 nodes");
-    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
-    PortGraph::from_edges(n, &edges).expect("cycle edges are simple")
+    let edges: Vec<(u32, u32)> = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)).collect();
+    PortGraph::from_edge_pairs(n, &edges).expect("cycle edges are simple")
 }
 
 /// The complete graph K_n (girth 3) — a worst case for girth conditions.
@@ -46,72 +55,136 @@ pub fn complete_bipartite(d: usize) -> PortGraph {
     PortGraph::from_edges(2 * d, &edges).expect("bipartite edges are simple")
 }
 
-/// A random `d`-regular graph on `n` nodes via the configuration model
-/// (retrying until simple). Returns `None` if `n·d` is odd, `d ≥ n`, or no
-/// simple pairing is found within `tries` attempts.
-pub fn random_regular<R: Rng>(n: usize, d: usize, tries: usize, rng: &mut R) -> Option<PortGraph> {
-    if !(n * d).is_multiple_of(2) || d >= n || d == 0 {
-        return None;
-    }
-    if n.is_multiple_of(2) {
-        // Union of d random perfect matchings with per-matching retries:
-        // the rejection rate stays per-matching instead of compounding
-        // exponentially in d² as in the plain configuration model.
-        return random_regular_matchings(n, d, tries, rng);
-    }
-    'attempt: for _ in 0..tries {
-        // Stubs: d copies of each node.
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
-        // Fisher–Yates shuffle.
-        for i in (1..stubs.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            stubs.swap(i, j);
-        }
-        let mut edges = Vec::with_capacity(n * d / 2);
-        let mut seen = std::collections::HashSet::new();
-        for pair in stubs.chunks(2) {
-            let (u, v) = (pair[0], pair[1]);
-            if u == v {
-                continue 'attempt;
+/// The complete `d`-ary tree in which every internal node has degree `d`
+/// (the root has `d` children, other internal nodes `d − 1`) and leaves
+/// sit at distance `depth` from the root. Girth ∞ — the infinite-tree
+/// surrogate the lower-bound theorems quantify over; `depth ≈ log n`
+/// reaches millions of nodes.
+///
+/// # Panics
+///
+/// Panics for `d < 2`, or when the tree exceeds `u32::MAX` nodes.
+pub fn regular_tree(depth: usize, d: usize) -> PortGraph {
+    assert!(d >= 2, "a regular tree needs branching degree ≥ 2");
+    let n = regular_tree_size(depth, d);
+    assert!(n <= u32::MAX as usize, "regular tree too large for u32 node ids");
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n.saturating_sub(1));
+    // BFS construction: `level` holds the ids of the current frontier.
+    let mut level: Vec<u32> = vec![0];
+    let mut next_id: u32 = 1;
+    for layer in 0..depth {
+        let mut next_level = Vec::new();
+        let children = if layer == 0 { d } else { d - 1 };
+        for &v in &level {
+            for _ in 0..children {
+                edges.push((v, next_id));
+                next_level.push(next_id);
+                next_id += 1;
             }
-            if !seen.insert((u.min(v), u.max(v))) {
-                continue 'attempt;
-            }
-            edges.push((u, v));
         }
-        if let Some(g) = PortGraph::from_edges(n, &edges) {
-            return Some(g);
-        }
+        level = next_level;
     }
-    None
+    PortGraph::from_edge_pairs(n, &edges).expect("tree edges are simple")
 }
 
-fn random_regular_matchings<R: Rng>(
+/// Number of nodes of [`regular_tree`]`(depth, d)`.
+pub fn regular_tree_size(depth: usize, d: usize) -> usize {
+    if depth == 0 {
+        return 1;
+    }
+    let mut n = 1usize;
+    let mut frontier = d;
+    for _ in 0..depth {
+        n += frontier;
+        frontier *= d - 1;
+    }
+    n
+}
+
+/// SplitMix64 finalizer: the bijective mixing step of the vendored
+/// `StdRng`, used here as a counter-based hash.
+#[inline]
+fn hash64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform-looking permutation of `0..len` as a pure function of
+/// `stream`: sort ids by `(hash64(stream ^ i·φ), id)`. Key computation and
+/// chunk sorts run on worker threads; the strict total order makes the
+/// result schedule-independent.
+fn keyed_order(len: usize, stream: u64, threads: usize) -> Vec<u32> {
+    let keyed = par::fill_indexed(len, threads, |i| {
+        (hash64(stream ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)), i as u32)
+    });
+    par::sort_pairs(keyed, threads).into_iter().map(|(_, i)| i).collect()
+}
+
+/// Whether `(n, d)` can possibly be a simple `d`-regular graph on `n`
+/// nodes: `n·d` must be even, `d < n`, and `d ≥ 1`.
+fn regular_params_ok(n: usize, d: usize) -> bool {
+    d > 0 && d < n && (n * d).is_multiple_of(2)
+}
+
+/// A deterministic pseudorandom permutation of `0..len` — the keyed-sort
+/// construction the seeded generators use, exposed for building shuffled
+/// id inputs at million-node scale (bit-identical for every `threads`).
+pub fn random_permutation(len: usize, seed: u64, threads: usize) -> Vec<u32> {
+    keyed_order(len, hash64(seed), par::resolve_threads(threads))
+}
+
+/// A random `d`-regular graph on `n` nodes as a pure function of `seed`
+/// (see the module docs): deterministic, parallel, and identical for every
+/// `threads` value (`0` = resolve `ROUNDELIM_THREADS`). Returns `None` if
+/// the parameters are impossible (odd `n·d`, `d ≥ n`, `d = 0`) or no
+/// simple pairing is found within `tries` attempts.
+pub fn random_regular_seeded(
     n: usize,
     d: usize,
     tries: usize,
-    rng: &mut R,
+    seed: u64,
+    threads: usize,
 ) -> Option<PortGraph> {
-    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
-    let mut seen = std::collections::HashSet::new();
-    for _ in 0..d {
+    if !regular_params_ok(n, d) {
+        return None;
+    }
+    let threads = par::resolve_threads(threads);
+    if n.is_multiple_of(2) {
+        random_regular_matchings_seeded(n, d, tries, seed, threads)
+    } else {
+        random_regular_stubs_seeded(n, d, tries, seed, threads)
+    }
+}
+
+/// Even `n`: union of `d` random perfect matchings with per-matching
+/// retries — the rejection rate stays per-matching instead of compounding
+/// exponentially in d² as in the plain configuration model.
+fn random_regular_matchings_seeded(
+    n: usize,
+    d: usize,
+    tries: usize,
+    seed: u64,
+    threads: usize,
+) -> Option<PortGraph> {
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * d / 2);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(n * d);
+    for m in 0..d {
         let mut placed = false;
-        'matching: for _ in 0..tries {
-            let mut nodes: Vec<usize> = (0..n).collect();
-            for i in (1..n).rev() {
-                let j = rng.gen_range(0..=i);
-                nodes.swap(i, j);
-            }
+        'matching: for attempt in 0..tries {
+            let stream = hash64(seed ^ hash64(((m as u64) << 32) | attempt as u64));
+            let order = keyed_order(n, stream, threads);
             let mut new_edges = Vec::with_capacity(n / 2);
-            for pair in nodes.chunks(2) {
+            for pair in order.chunks(2) {
                 let (u, v) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
-                if seen.contains(&(u, v)) {
+                if seen.contains(&((u64::from(u) << 32) | u64::from(v))) {
                     continue 'matching;
                 }
                 new_edges.push((u, v));
             }
-            for &e in &new_edges {
-                seen.insert(e);
+            for &(u, v) in &new_edges {
+                seen.insert((u64::from(u) << 32) | u64::from(v));
             }
             edges.extend(new_edges);
             placed = true;
@@ -121,12 +194,54 @@ fn random_regular_matchings<R: Rng>(
             return None;
         }
     }
-    PortGraph::from_edges(n, &edges)
+    PortGraph::from_edge_pairs(n, &edges)
+}
+
+/// Odd `n` (with `n·d` even): configuration model over `n·d` stubs with
+/// whole-attempt retries.
+fn random_regular_stubs_seeded(
+    n: usize,
+    d: usize,
+    tries: usize,
+    seed: u64,
+    threads: usize,
+) -> Option<PortGraph> {
+    'attempt: for attempt in 0..tries {
+        let stream = hash64(seed ^ hash64(0x5751_u64 << 32 | attempt as u64));
+        let order = keyed_order(n * d, stream, threads);
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * d / 2);
+        let mut seen: HashSet<u64> = HashSet::with_capacity(n * d);
+        for pair in order.chunks(2) {
+            let (a, b) = (pair[0] / d as u32, pair[1] / d as u32);
+            if a == b {
+                continue 'attempt;
+            }
+            let (u, v) = (a.min(b), a.max(b));
+            if !seen.insert((u64::from(u) << 32) | u64::from(v)) {
+                continue 'attempt;
+            }
+            edges.push((u, v));
+        }
+        return PortGraph::from_edge_pairs(n, &edges);
+    }
+    None
+}
+
+/// A random `d`-regular graph on `n` nodes. Impossible parameters (odd
+/// `n·d`, `d ≥ n`, `d = 0`) are rejected up front without consuming the
+/// RNG or any `tries`. Otherwise draws a seed from `rng` and delegates to
+/// [`random_regular_seeded`].
+pub fn random_regular<R: Rng>(n: usize, d: usize, tries: usize, rng: &mut R) -> Option<PortGraph> {
+    if !regular_params_ok(n, d) {
+        return None;
+    }
+    random_regular_seeded(n, d, tries, rng.next_u64(), 0)
 }
 
 /// A random `d`-regular graph with girth at least `g` (by rejection).
-/// Expensive; intended for small test instances that exercise the girth
-/// hypotheses of Theorems 1–3.
+/// Impossible `(n, d)` parameters are rejected up front instead of burning
+/// every attempt. Expensive; intended for small test instances that
+/// exercise the girth hypotheses of Theorems 1–3.
 pub fn random_regular_girth<R: Rng>(
     n: usize,
     d: usize,
@@ -134,6 +249,9 @@ pub fn random_regular_girth<R: Rng>(
     tries: usize,
     rng: &mut R,
 ) -> Option<PortGraph> {
+    if !regular_params_ok(n, d) {
+        return None;
+    }
     for _ in 0..tries {
         if let Some(graph) = random_regular(n, d, 16, rng) {
             if graph.girth().is_none_or(|gg| gg >= min_girth) {
@@ -180,16 +298,57 @@ mod tests {
     }
 
     #[test]
+    fn regular_tree_shape() {
+        // depth 2, d = 3: 1 + 3 + 3·2 = 10 nodes, girth ∞.
+        let g = regular_tree(2, 3);
+        assert_eq!(g.node_count(), regular_tree_size(2, 3));
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.girth(), None);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.max_degree(), 3);
+        let leaves = (0..10).filter(|&v| g.degree(v) == 1).count();
+        assert_eq!(leaves, 6);
+        // Interior nodes are d-regular.
+        assert!((0..10).all(|v| g.degree(v) == 3 || g.degree(v) == 1));
+    }
+
+    #[test]
     fn random_regular_is_regular() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        for (n, d) in [(10, 3), (20, 4), (16, 5)] {
+        for (n, d) in [(10, 3), (20, 4), (16, 5), (15, 4)] {
             let g = random_regular(n, d, 20000, &mut rng).unwrap();
             assert!(g.is_regular(d), "n={n}, d={d}");
             assert_eq!(g.node_count(), n);
         }
-        // parity violation
+    }
+
+    #[test]
+    fn impossible_parameters_rejected_up_front() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // Odd n·d, d ≥ n, and d = 0 fail immediately — `tries = 0` proves
+        // no attempt budget is consumed.
+        assert!(random_regular(5, 3, 0, &mut rng).is_none());
+        assert!(random_regular(4, 4, 0, &mut rng).is_none());
+        assert!(random_regular(4, 0, 0, &mut rng).is_none());
+        assert!(random_regular_seeded(7, 3, 0, 1, 1).is_none());
+        assert!(random_regular_girth(5, 3, 4, 0, &mut rng).is_none());
+        assert!(random_regular_girth(3, 3, 4, 0, &mut rng).is_none());
+        // Sanity: the legacy call sites still reject with a budget.
         assert!(random_regular(5, 3, 10, &mut rng).is_none());
         assert!(random_regular(4, 4, 10, &mut rng).is_none());
+    }
+
+    #[test]
+    fn seeded_generation_is_thread_invariant() {
+        for (n, d, seed) in [(100, 3, 7u64), (101, 4, 9), (64, 5, 1)] {
+            let one = random_regular_seeded(n, d, 64, seed, 1).unwrap();
+            assert!(one.is_regular(d));
+            for threads in [2, 4, 7] {
+                assert_eq!(random_regular_seeded(n, d, 64, seed, threads).unwrap(), one);
+            }
+            // A different seed gives a different graph (overwhelmingly).
+            assert_ne!(random_regular_seeded(n, d, 64, seed ^ 0xDEAD_BEEF, 1).unwrap(), one);
+        }
     }
 
     #[test]

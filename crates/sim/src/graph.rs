@@ -4,20 +4,44 @@
 //! edges are numbered 1…deg(v) (0-based internally). Port numberings are
 //! adversarial in the model; the generators in [`crate::generate`] produce
 //! arbitrary (construction-order) numberings and tests permute them.
+//!
+//! The representation is a flat CSR (compressed sparse row) layout: one
+//! `targets` arena of [`PortTarget`]s indexed by a per-node `offsets`
+//! table, with `u32` node ids. This keeps a million-node Δ-regular graph
+//! in two contiguous allocations (≈8 bytes per port) and makes the
+//! streaming checker and the flat runner cache-friendly. Port semantics
+//! are identical to the previous nested `Vec<Vec<PortTarget>>` layout:
+//! ports are assigned in edge-list order with reciprocal bookkeeping, a
+//! property `tests/properties.rs` pins against an edge-list oracle.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// One endpoint of an edge as seen from a node: the neighbor and the
-/// neighbor's port number for the connecting edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// neighbor's port number for the connecting edge. Fields are `u32` so the
+/// CSR arena stays at 8 bytes per port; cast to `usize` for indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PortTarget {
     /// The neighbor node id.
-    pub node: usize,
+    pub node: u32,
     /// The port index of this edge at the neighbor.
-    pub port: usize,
+    pub port: u32,
 }
 
-/// A simple undirected graph with per-node port numbering.
+impl PortTarget {
+    /// The neighbor node id as a `usize` index.
+    #[inline]
+    pub fn node_ix(&self) -> usize {
+        self.node as usize
+    }
+
+    /// The neighbor-side port as a `usize` index.
+    #[inline]
+    pub fn port_ix(&self) -> usize {
+        self.port as usize
+    }
+}
+
+/// A simple undirected graph with per-node port numbering, stored as CSR.
 ///
 /// ```
 /// use roundelim_sim::graph::PortGraph;
@@ -26,9 +50,13 @@ pub struct PortTarget {
 /// assert!(g.is_regular(2));
 /// assert_eq!(g.girth(), Some(4));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortGraph {
-    adj: Vec<Vec<PortTarget>>,
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` for node `v`;
+    /// length `node_count + 1`.
+    offsets: Vec<u32>,
+    /// Flat arena of port targets, all nodes back to back.
+    targets: Vec<PortTarget>,
 }
 
 impl PortGraph {
@@ -36,70 +64,156 @@ impl PortGraph {
     /// order. Returns `None` on self-loops, duplicate edges, or
     /// out-of-range endpoints.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Option<PortGraph> {
-        let mut adj: Vec<Vec<PortTarget>> = vec![Vec::new(); n];
-        let mut seen: HashSet<(usize, usize)> = HashSet::new();
-        for &(u, v) in edges {
-            if u >= n || v >= n || u == v {
-                return None;
-            }
-            let key = (u.min(v), u.max(v));
-            if !seen.insert(key) {
-                return None;
-            }
-            let pu = adj[u].len();
-            let pv = adj[v].len();
-            adj[u].push(PortTarget { node: v, port: pv });
-            adj[v].push(PortTarget { node: u, port: pu });
+        if n > u32::MAX as usize {
+            return None;
         }
-        Some(PortGraph { adj })
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u >= n || v >= n {
+                return None;
+            }
+            pairs.push((u as u32, v as u32));
+        }
+        Self::from_edge_pairs(n, &pairs)
+    }
+
+    /// Builds a graph from a `u32` edge list without an intermediate
+    /// conversion pass — the entry point the million-node generators use.
+    /// Same validation and port semantics as [`PortGraph::from_edges`].
+    pub fn from_edge_pairs(n: usize, edges: &[(u32, u32)]) -> Option<PortGraph> {
+        if n > u32::MAX as usize || edges.len() > (u32::MAX as usize) / 2 {
+            return None;
+        }
+        let nu = n as u32;
+        // Validate endpoints and detect duplicates by sorting packed edge
+        // keys — O(m log m) with no hash table, and parallel-friendly.
+        let mut keys: Vec<u64> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u >= nu || v >= nu || u == v {
+                return None;
+            }
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            keys.push((u64::from(a) << 32) | u64::from(b));
+        }
+        keys.sort_unstable();
+        if keys.windows(2).any(|w| w[0] == w[1]) {
+            return None;
+        }
+        drop(keys);
+
+        // Degree pass → prefix sums → placement pass. Ports grow in
+        // edge-list order at both endpoints, exactly as the nested-Vec
+        // `push` did.
+        let mut degree = vec![0u32; n];
+        for &(u, v) in edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc: u32 = 0;
+        offsets.push(0);
+        for &d in &degree {
+            acc = acc.checked_add(d)?;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![PortTarget { node: 0, port: 0 }; acc as usize];
+        for &(u, v) in edges {
+            let (ui, vi) = (u as usize, v as usize);
+            let pu = cursor[ui] - offsets[ui];
+            let pv = cursor[vi] - offsets[vi];
+            targets[cursor[ui] as usize] = PortTarget { node: v, port: pv };
+            targets[cursor[vi] as usize] = PortTarget { node: u, port: pu };
+            cursor[ui] += 1;
+            cursor[vi] += 1;
+        }
+        Some(PortGraph { offsets, targets })
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.targets.len() / 2
+    }
+
+    /// Total number of ports (`2 · edge_count`); the length of every flat
+    /// per-port arena aligned with this graph.
+    pub fn total_ports(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Index of `v`'s port 0 in flat per-port arenas (see
+    /// [`PortGraph::total_ports`]).
+    #[inline]
+    pub fn port_offset(&self, v: usize) -> usize {
+        self.offsets[v] as usize
     }
 
     /// Degree of a node.
+    #[inline]
     pub fn degree(&self, v: usize) -> usize {
-        self.adj[v].len()
+        (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
     /// Whether all nodes have degree `d`.
     pub fn is_regular(&self, d: usize) -> bool {
-        self.adj.iter().all(|a| a.len() == d)
+        (0..self.node_count()).all(|v| self.degree(v) == d)
     }
 
     /// Maximum degree Δ.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// The neighbor reached through `port` of `v`.
+    #[inline]
     pub fn neighbor(&self, v: usize, port: usize) -> PortTarget {
-        self.adj[v][port]
+        self.targets[self.offsets[v] as usize + port]
     }
 
     /// All port targets of `v`, in port order.
+    #[inline]
     pub fn ports(&self, v: usize) -> &[PortTarget] {
-        &self.adj[v]
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
     /// Iterates over edges as `(u, port_at_u, v, port_at_v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, usize, usize)> + '_ {
-        self.adj.iter().enumerate().flat_map(move |(u, targets)| {
-            targets.iter().enumerate().filter_map(move |(pu, t)| {
-                if u < t.node {
-                    Some((u, pu, t.node, t.port))
+        (0..self.node_count()).flat_map(move |u| {
+            self.ports(u).iter().enumerate().filter_map(move |(pu, t)| {
+                if u < t.node_ix() {
+                    Some((u, pu, t.node_ix(), t.port_ix()))
                 } else {
                     None
                 }
             })
         })
+    }
+
+    /// The nodes reachable from `root` in BFS order (neighbors explored in
+    /// port order). Part of the pinned port semantics: property tests
+    /// compare this against the edge-list oracle.
+    pub fn bfs_order(&self, root: usize) -> Vec<u32> {
+        let n = self.node_count();
+        assert!(root < n, "bfs root out of range");
+        let mut seen = vec![false; n];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::from([root as u32]);
+        seen[root] = true;
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for t in self.ports(u as usize) {
+                if !seen[t.node_ix()] {
+                    seen[t.node_ix()] = true;
+                    queue.push_back(t.node);
+                }
+            }
+        }
+        order
     }
 
     /// The girth (length of a shortest cycle), or `None` for forests.
@@ -109,20 +223,21 @@ impl PortGraph {
         let n = self.node_count();
         let mut best: Option<usize> = None;
         for root in 0..n {
-            let mut dist = vec![usize::MAX; n];
-            let mut parent = vec![usize::MAX; n];
+            let mut dist = vec![u32::MAX; n];
+            let mut parent = vec![u32::MAX; n];
             dist[root] = 0;
-            let mut queue = VecDeque::from([root]);
+            let mut queue = VecDeque::from([root as u32]);
             while let Some(u) = queue.pop_front() {
-                for t in &self.adj[u] {
-                    let v = t.node;
-                    if dist[v] == usize::MAX {
-                        dist[v] = dist[u] + 1;
-                        parent[v] = u;
-                        queue.push_back(v);
-                    } else if parent[u] != v {
+                let ui = u as usize;
+                for t in self.ports(ui) {
+                    let vi = t.node_ix();
+                    if dist[vi] == u32::MAX {
+                        dist[vi] = dist[ui] + 1;
+                        parent[vi] = u;
+                        queue.push_back(t.node);
+                    } else if parent[ui] != t.node {
                         // Cycle through root candidate.
-                        let len = dist[u] + dist[v] + 1;
+                        let len = (dist[ui] + dist[vi] + 1) as usize;
                         if best.is_none_or(|b| len < b) {
                             best = Some(len);
                         }
@@ -143,30 +258,28 @@ impl PortGraph {
     #[must_use]
     pub fn with_port_permutations(&self, perms: &[Vec<usize>]) -> PortGraph {
         assert_eq!(perms.len(), self.node_count());
-        let mut new_adj: Vec<Vec<PortTarget>> = Vec::with_capacity(self.adj.len());
         // old→new port maps
-        let inverse: Vec<Vec<usize>> = perms
+        let inverse: Vec<Vec<u32>> = perms
             .iter()
             .enumerate()
             .map(|(v, p)| {
                 assert_eq!(p.len(), self.degree(v), "permutation length mismatch at node {v}");
-                let mut inv = vec![usize::MAX; p.len()];
+                let mut inv = vec![u32::MAX; p.len()];
                 for (new, &old) in p.iter().enumerate() {
-                    assert!(inv[old] == usize::MAX, "not a permutation at node {v}");
-                    inv[old] = new;
+                    assert!(inv[old] == u32::MAX, "not a permutation at node {v}");
+                    inv[old] = new as u32;
                 }
                 inv
             })
             .collect();
+        let mut targets = Vec::with_capacity(self.targets.len());
         for (v, perm) in perms.iter().enumerate() {
-            let mut row = Vec::with_capacity(perm.len());
             for &old in perm {
-                let t = self.adj[v][old];
-                row.push(PortTarget { node: t.node, port: inverse[t.node][t.port] });
+                let t = self.neighbor(v, old);
+                targets.push(PortTarget { node: t.node, port: inverse[t.node_ix()][t.port_ix()] });
             }
-            new_adj.push(row);
         }
-        PortGraph { adj: new_adj }
+        PortGraph { offsets: self.offsets.clone(), targets }
     }
 }
 
@@ -179,15 +292,16 @@ mod tests {
         let g = PortGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         assert_eq!(g.node_count(), 5);
         assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.total_ports(), 10);
         assert!(g.is_regular(2));
         assert_eq!(g.girth(), Some(5));
         // port symmetry: following a port and coming back works
         for v in 0..5 {
             for p in 0..g.degree(v) {
                 let t = g.neighbor(v, p);
-                let back = g.neighbor(t.node, t.port);
-                assert_eq!(back.node, v);
-                assert_eq!(back.port, p);
+                let back = g.neighbor(t.node_ix(), t.port_ix());
+                assert_eq!(back.node_ix(), v);
+                assert_eq!(back.port_ix(), p);
             }
         }
     }
@@ -197,6 +311,8 @@ mod tests {
         assert!(PortGraph::from_edges(3, &[(0, 0)]).is_none()); // self loop
         assert!(PortGraph::from_edges(3, &[(0, 1), (1, 0)]).is_none()); // duplicate
         assert!(PortGraph::from_edges(3, &[(0, 5)]).is_none()); // out of range
+        assert!(PortGraph::from_edge_pairs(3, &[(1, 1)]).is_none());
+        assert!(PortGraph::from_edge_pairs(3, &[(0, 1), (1, 0)]).is_none());
     }
 
     #[test]
@@ -225,8 +341,8 @@ mod tests {
         for v in 0..4 {
             for p in 0..h.degree(v) {
                 let t = h.neighbor(v, p);
-                let back = h.neighbor(t.node, t.port);
-                assert_eq!((back.node, back.port), (v, p));
+                let back = h.neighbor(t.node_ix(), t.port_ix());
+                assert_eq!((back.node_ix(), back.port_ix()), (v, p));
             }
         }
     }
@@ -237,8 +353,26 @@ mod tests {
         let es: Vec<_> = g.edges().collect();
         assert_eq!(es.len(), 3);
         for (u, pu, v, pv) in es {
-            assert_eq!(g.neighbor(u, pu).node, v);
-            assert_eq!(g.neighbor(v, pv).node, u);
+            assert_eq!(g.neighbor(u, pu).node_ix(), v);
+            assert_eq!(g.neighbor(v, pv).node_ix(), u);
         }
+    }
+
+    #[test]
+    fn bfs_order_follows_ports() {
+        // Star with center 0; BFS explores neighbors in port order, which
+        // is edge-list order.
+        let g = PortGraph::from_edges(4, &[(0, 2), (0, 1), (0, 3)]).unwrap();
+        assert_eq!(g.bfs_order(0), vec![0, 2, 1, 3]);
+        assert_eq!(g.bfs_order(2), vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn csr_equals_itself_under_rebuild() {
+        let edges = [(0usize, 1), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let a = PortGraph::from_edges(4, &edges).unwrap();
+        let pairs: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| (u as u32, v as u32)).collect();
+        let b = PortGraph::from_edge_pairs(4, &pairs).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -3,12 +3,20 @@
 //! A port-numbering-model simulator (§3 of Brandt, PODC 2019) and the
 //! **executable Theorem 1** on rings.
 //!
-//! * [`graph`] — port-numbered graphs with girth computation;
-//! * [`generate`] — rings, complete (bipartite) graphs, random regular
-//!   graphs with girth rejection, random orientations;
-//! * [`runner`] — the synchronous message-passing executor and the
-//!   [`runner::Distributed`] algorithm trait;
-//! * [`checker`] — validates outputs against a `Problem` ("A solves Π");
+//! * [`graph`] — port-numbered graphs in a flat CSR layout (u32 ids) with
+//!   girth computation — sized for millions of nodes;
+//! * [`generate`] — rings, complete (bipartite) graphs, regular trees,
+//!   and deterministic seeded random regular graphs (bit-identical for
+//!   every thread count), plus girth rejection and random orientations;
+//! * [`par`] — scoped-thread helpers with schedule-independent results;
+//! * [`runner`] — the synchronous message-passing executor (row-shaped
+//!   and flat/adaptive variants) and the [`runner::Distributed`] trait;
+//! * [`checker`] — validates outputs against a `Problem` ("A solves Π"):
+//!   a materializing checker for tests and a streaming chunked one for
+//!   million-node runs;
+//! * [`crossval`] — the sim-vs-bound harness: runs zoo algorithms on huge
+//!   instances and cross-checks round counts against `autolb`/`autoub`
+//!   certificate verdicts;
 //! * [`ring`] — both directions of Theorem 1 as executable constructions
 //!   on input-labeled rings;
 //! * [`algos`] — Cole–Vishkin 3-coloring (§4.5's upper bound) and an
@@ -30,8 +38,10 @@
 
 pub mod algos;
 pub mod checker;
+pub mod crossval;
 pub mod generate;
 pub mod graph;
+pub mod par;
 pub mod ring;
 pub mod runner;
 pub mod tree;

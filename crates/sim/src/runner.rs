@@ -6,6 +6,13 @@
 //! last round it assigns one output label per port. Nodes see their degree,
 //! the global parameters `n` and `Δ`, and any inputs the instance carries
 //! (IDs, colors, orientations) — *not* their node index.
+//!
+//! Two execution surfaces share one core:
+//! - [`run`] keeps the seed-era `Vec<Vec<Label>>` shape for small tests;
+//! - [`run_flat`] / [`run_adaptive`] use flat per-port message arenas
+//!   aligned with the CSR [`PortGraph`] layout ([`FlatOutputs`]), which is
+//!   what makes million-node executions fit in two allocations per round
+//!   and feeds the streaming checker without re-materializing rows.
 
 use crate::graph::PortGraph;
 use roundelim_core::label::Label;
@@ -54,6 +61,107 @@ pub trait Distributed {
 
     /// Emits the final output: one label per port.
     fn output(&self, state: &Self::State) -> Vec<Label>;
+
+    /// Whether this node's state is final: its output labels can no longer
+    /// change *and* it no longer needs to inform neighbors. When every
+    /// node reports `true`, [`run_adaptive`] stops early. The default
+    /// (`false`) means "run the full round budget" — correct for
+    /// fixed-schedule algorithms.
+    fn done(&self, _state: &Self::State) -> bool {
+        false
+    }
+}
+
+/// Per-port output labels in the flat CSR-aligned layout: label for
+/// `(v, p)` lives at `graph.port_offset(v) + p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatOutputs {
+    /// One label per port, all nodes back to back (length
+    /// [`PortGraph::total_ports`]).
+    pub labels: Vec<Label>,
+}
+
+impl FlatOutputs {
+    /// The output labels of node `v`, in port order.
+    #[inline]
+    pub fn node<'a>(&'a self, graph: &PortGraph, v: usize) -> &'a [Label] {
+        &self.labels[graph.port_offset(v)..graph.port_offset(v) + graph.degree(v)]
+    }
+
+    /// Packs per-node rows into the flat layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row count or any row's arity mismatches the graph.
+    pub fn from_rows(graph: &PortGraph, rows: &[Vec<Label>]) -> FlatOutputs {
+        assert_eq!(rows.len(), graph.node_count(), "one output row per node");
+        let mut labels = Vec::with_capacity(graph.total_ports());
+        for (v, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), graph.degree(v), "one output label per port");
+            labels.extend_from_slice(row);
+        }
+        FlatOutputs { labels }
+    }
+
+    /// Unpacks into per-node rows (the seed-era shape).
+    pub fn into_rows(self, graph: &PortGraph) -> Vec<Vec<Label>> {
+        (0..graph.node_count()).map(|v| self.node(graph, v).to_vec()).collect()
+    }
+}
+
+/// Shared synchronous core: flat message arenas, optional early stop.
+fn run_core<A: Distributed>(
+    graph: &PortGraph,
+    inputs: &[NodeInput],
+    algo: &A,
+    max_rounds: usize,
+    adaptive: bool,
+) -> (FlatOutputs, usize) {
+    assert_eq!(inputs.len(), graph.node_count(), "one input per node");
+    let n = graph.node_count();
+    let delta = graph.max_degree();
+    let total = graph.total_ports();
+    let mut states: Vec<A::State> = (0..n)
+        .map(|v| {
+            let ctx = NodeCtx { n, delta, degree: graph.degree(v), input: &inputs[v] };
+            algo.init(&ctx)
+        })
+        .collect();
+
+    let mut outgoing: Vec<A::Message> = Vec::with_capacity(total);
+    let mut incoming: Vec<A::Message> = Vec::with_capacity(total);
+    let mut rounds_used = 0;
+    for round in 0..max_rounds {
+        if adaptive && states.iter().all(|s| algo.done(s)) {
+            break;
+        }
+        // All sends happen before any receive (synchronous rounds).
+        outgoing.clear();
+        for (v, state) in states.iter().enumerate() {
+            for p in 0..graph.degree(v) {
+                outgoing.push(algo.send(state, round, p));
+            }
+        }
+        incoming.clear();
+        for v in 0..n {
+            for t in graph.ports(v) {
+                incoming.push(outgoing[graph.port_offset(t.node_ix()) + t.port_ix()].clone());
+            }
+        }
+        for (v, state) in states.iter_mut().enumerate() {
+            let lo = graph.port_offset(v);
+            algo.receive(state, round, &incoming[lo..lo + graph.degree(v)]);
+        }
+        rounds_used = round + 1;
+    }
+
+    let mut labels = Vec::with_capacity(total);
+    for (v, state) in states.iter().enumerate() {
+        let out = algo.output(state);
+        assert_eq!(out.len(), graph.degree(v), "one output label per port");
+        labels.extend_from_slice(&out);
+    }
+    (FlatOutputs { labels }, rounds_used)
 }
 
 /// Runs `algo` for `rounds` rounds on `graph` with `inputs` and returns
@@ -69,43 +177,39 @@ pub fn run<A: Distributed>(
     algo: &A,
     rounds: usize,
 ) -> Vec<Vec<Label>> {
-    assert_eq!(inputs.len(), graph.node_count(), "one input per node");
-    let n = graph.node_count();
-    let delta = graph.max_degree();
-    let mut states: Vec<A::State> = (0..n)
-        .map(|v| {
-            let ctx = NodeCtx { n, delta, degree: graph.degree(v), input: &inputs[v] };
-            algo.init(&ctx)
-        })
-        .collect();
+    run_flat(graph, inputs, algo, rounds).into_rows(graph)
+}
 
-    for round in 0..rounds {
-        // All sends happen before any receive (synchronous rounds).
-        let outgoing: Vec<Vec<A::Message>> = (0..n)
-            .map(|v| (0..graph.degree(v)).map(|p| algo.send(&states[v], round, p)).collect())
-            .collect();
-        let incoming: Vec<Vec<A::Message>> = (0..n)
-            .map(|v| {
-                (0..graph.degree(v))
-                    .map(|p| {
-                        let t = graph.neighbor(v, p);
-                        outgoing[t.node][t.port].clone()
-                    })
-                    .collect()
-            })
-            .collect();
-        for (v, msgs) in incoming.into_iter().enumerate() {
-            algo.receive(&mut states[v], round, &msgs);
-        }
-    }
+/// Runs `algo` for exactly `rounds` rounds, returning flat per-port
+/// outputs — the million-node entry point.
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_flat<A: Distributed>(
+    graph: &PortGraph,
+    inputs: &[NodeInput],
+    algo: &A,
+    rounds: usize,
+) -> FlatOutputs {
+    run_core(graph, inputs, algo, rounds, false).0
+}
 
-    (0..n)
-        .map(|v| {
-            let out = algo.output(&states[v]);
-            assert_eq!(out.len(), graph.degree(v), "one output label per port");
-            out
-        })
-        .collect()
+/// Runs `algo` for at most `max_rounds` rounds, stopping as soon as every
+/// node reports [`Distributed::done`]. Returns the outputs and the number
+/// of rounds actually executed — the `rounds_used` the cross-validation
+/// harness compares against certificate lower bounds.
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_adaptive<A: Distributed>(
+    graph: &PortGraph,
+    inputs: &[NodeInput],
+    algo: &A,
+    max_rounds: usize,
+) -> (FlatOutputs, usize) {
+    run_core(graph, inputs, algo, max_rounds, true)
 }
 
 /// Builds default (empty) inputs for a graph.
@@ -147,6 +251,10 @@ mod tests {
             // encode the known max as a label index at both ports (test only)
             vec![Label::from_index(*state as usize); 2]
         }
+        fn done(&self, state: &u64) -> bool {
+            // test-only convergence signal: a node that knows id 7 is done
+            *state == 7
+        }
     }
 
     #[test]
@@ -161,6 +269,32 @@ mod tests {
         let g = cycle(8);
         let out = run(&g, &id_inputs(&g), &FloodMax, 2);
         assert!(out.iter().any(|v| v[0].index() != 7));
+    }
+
+    #[test]
+    fn flat_and_row_runs_agree() {
+        let g = cycle(8);
+        let inputs = id_inputs(&g);
+        let rows = run(&g, &inputs, &FloodMax, 3);
+        let flat = run_flat(&g, &inputs, &FloodMax, 3);
+        assert_eq!(FlatOutputs::from_rows(&g, &rows), flat);
+        assert_eq!(flat.clone().into_rows(&g), rows);
+        for (v, row) in rows.iter().enumerate() {
+            assert_eq!(flat.node(&g, v), &row[..]);
+        }
+    }
+
+    #[test]
+    fn adaptive_run_stops_at_convergence() {
+        // On C8, flooding from node 7 covers all nodes after 4 rounds; the
+        // done() probe fires at the start of round 5.
+        let g = cycle(8);
+        let (out, rounds) = run_adaptive(&g, &id_inputs(&g), &FloodMax, 100);
+        assert_eq!(rounds, 4);
+        assert!(out.labels.iter().all(|l| l.index() == 7));
+        // The budget still caps non-converging runs.
+        let (_, capped) = run_adaptive(&g, &id_inputs(&g), &FloodMax, 2);
+        assert_eq!(capped, 2);
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let succ = (v + 1) % 4; // demanding pointer target (different color)
         let mut row = Vec::new();
         for t in g.ports(v) {
-            let name = if t.node == succ { format!("{c}→") } else { format!("{c}•") };
+            let name = if t.node_ix() == succ { format!("{c}→") } else { format!("{c}•") };
             row.push(l(&name));
         }
         outputs.push(row);

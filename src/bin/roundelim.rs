@@ -15,7 +15,13 @@
 //! roundelim autolb --sweep [--json]      autolb over the registry sweep set
 //! roundelim autoub <file|family:k:Δ> [same flags as autolb]
 //!                                        automated upper-bound search (§4.5)
-//! roundelim cert verify <file> [--json]  independently replay a certificate
+//! roundelim cert verify <file> [--fast] [--json]
+//!                                        independently replay a certificate
+//!                                        (--fast skips the full_step replay)
+//! roundelim sim-vs-bound [--n N] [--seed S] [--threads N] [--family NAME]
+//!                  [--steps N] [--beam N] [--max-labels N] [--out FILE] [--json]
+//!                                        run zoo algorithms on huge graphs and
+//!                                        cross-check rounds against certificates
 //! roundelim zero-round <file|family:k:Δ> both 0-round deciders
 //! roundelim iso <fileA> <fileB>          isomorphism check
 //! roundelim relax <fileA> <fileB>        relaxation witness A ⟶ B
@@ -66,7 +72,9 @@ fn usage() -> ExitCode {
          roundelim autolb <file|family:k:Δ|--sweep> [--steps N] [--beam N] \
          [--max-labels N] [--threads N] [--no-relax] [--cert FILE] [--json] [--profile]\n  \
          roundelim autoub <file|family:k:Δ> [autolb flags]\n  \
-         roundelim cert verify <file> [--json]\n  \
+         roundelim cert verify <file> [--fast] [--json]\n  \
+         roundelim sim-vs-bound [--n N] [--seed S] [--threads N] [--family NAME] \
+         [--steps N] [--beam N] [--max-labels N] [--out FILE] [--json]\n  \
          roundelim zero-round <file|family:k:Δ>\n  \
          roundelim iso <fileA> <fileB>\n  roundelim relax <fileA> <fileB>"
     );
@@ -129,6 +137,7 @@ fn main() -> ExitCode {
         "autolb" => with_profile(&args[1..], || cmd_auto(&args[1..], true)),
         "autoub" => with_profile(&args[1..], || cmd_auto(&args[1..], false)),
         "cert" => cmd_cert(&args[1..]),
+        "sim-vs-bound" => cmd_sim_vs_bound(&args[1..]),
         "zero-round" => cmd_zero_round(&args[1..]),
         "iso" => cmd_iso(&args[1..]),
         "relax" => cmd_relax(&args[1..]),
@@ -431,24 +440,97 @@ fn cmd_cert(args: &[String]) -> Result<(), String> {
     if sub != Some("verify") {
         return Err("cert: the only subcommand is `cert verify <file>`".to_owned());
     }
-    let path = args.get(1).ok_or("cert verify: missing certificate file")?;
+    let path = args[1..]
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("cert verify: missing certificate file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let cert = Certificate::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-    let result = cert.verify();
+    let fast = has_flag(args, "--fast");
+    let result = if fast { cert.verify_fast() } else { cert.verify() };
+    let mode = if fast { "witness checks green (--fast)" } else { "replayed green" };
     if has_flag(args, "--json") {
         let doc = Json::obj([
             ("valid", Json::Bool(result.is_ok())),
+            ("fast", Json::Bool(fast)),
             ("summary", Json::Str(cert.summary())),
             ("error", result.as_ref().err().map_or(Json::Null, |e| Json::Str(e.reason.clone()))),
         ]);
         print!("{}", doc.to_string_pretty());
     } else {
         match &result {
-            Ok(()) => println!("VALID: {} — replayed green", cert.summary()),
+            Ok(()) => println!("VALID: {} — {mode}", cert.summary()),
             Err(e) => println!("INVALID: {e}"),
         }
     }
     result.map_err(|e| e.to_string())
+}
+
+fn cmd_sim_vs_bound(args: &[String]) -> Result<(), String> {
+    use roundelim::sim::crossval::{run_crossval, Bound, CrossvalOptions};
+    let mut opts = CrossvalOptions::default();
+    if let Some(n) = flag_value(args, "--n")? {
+        opts.n = n;
+    }
+    if let Some(seed) = flag_value(args, "--seed")? {
+        opts.seed = seed;
+    }
+    if let Some(t) = flag_value(args, "--threads")? {
+        opts.threads = t;
+    }
+    if let Some(v) = flag_value(args, "--steps")? {
+        opts.search.max_steps = v;
+    }
+    if let Some(v) = flag_value(args, "--beam")? {
+        opts.search.beam_width = v;
+    }
+    if let Some(v) = flag_value(args, "--max-labels")? {
+        opts.search.max_labels = v;
+    }
+    opts.family_filter = flag_value::<String>(args, "--family")?;
+    let out_path =
+        flag_value::<String>(args, "--out")?.unwrap_or_else(|| "SIM_crossval.json".to_owned());
+    let report = run_crossval(&opts)?;
+    let doc = report.json().to_string_pretty();
+    std::fs::write(&out_path, &doc).map_err(|e| format!("{out_path}: {e}"))?;
+    let bound = |b: &Bound| match b {
+        Bound::Rounds(r) => r.to_string(),
+        Bound::Unbounded => "unbounded".to_owned(),
+        Bound::Inconclusive => "inconclusive".to_owned(),
+    };
+    if has_flag(args, "--json") {
+        print!("{doc}");
+    } else {
+        for c in &report.cases {
+            let checker = if c.report.is_valid() {
+                "output valid".to_owned()
+            } else {
+                format!("{} violations", c.report.total_violations())
+            };
+            println!(
+                "{}:{}:{} [{} on {}, n={}]: {} rounds, {checker}, LB {}, UB {} — {}",
+                c.spec.family,
+                c.spec.k,
+                c.spec.delta,
+                c.spec.algorithm,
+                c.spec.graph,
+                c.n,
+                c.rounds_used,
+                bound(&c.lower),
+                bound(&c.upper),
+                if c.consistent { "consistent" } else { "INCONSISTENT" }
+            );
+            for note in &c.notes {
+                println!("    note: {note}");
+            }
+        }
+        println!("wrote {out_path}");
+    }
+    if report.all_consistent() {
+        Ok(())
+    } else {
+        Err("sim-vs-bound: at least one case is inconsistent (see report)".to_owned())
+    }
 }
 
 fn cmd_zero_round(args: &[String]) -> Result<(), String> {

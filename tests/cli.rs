@@ -161,6 +161,65 @@ fn corrupted_certificate_is_rejected_with_failure_exit() {
 }
 
 #[test]
+fn fast_verify_accepts_valid_and_rejects_corrupted_certificates() {
+    // --fast must agree with the full replay on both sides of the fence:
+    // a zoo certificate the full verifier accepts, and a witness-level
+    // corruption (broken iso map) that --fast still checks.
+    let cert = tmp_dir().join("fast.cert.json");
+    run_ok(&["autolb", "sinkless-orientation::3", "--cert", cert.to_str().unwrap()]);
+    run_ok(&["cert", "verify", cert.to_str().unwrap()]);
+    let out = run_ok(&["cert", "verify", cert.to_str().unwrap(), "--fast"]);
+    assert!(out.contains("VALID"), "{out}");
+    assert!(out.contains("--fast"), "{out}");
+    // Corrupt the cycle start: verdict arithmetic, which --fast keeps.
+    let text = std::fs::read_to_string(&cert).unwrap();
+    let tampered = text.replace("\"cycle_start\": 1", "\"cycle_start\": 999");
+    assert_ne!(text, tampered, "fixture must actually change the certificate");
+    std::fs::write(&cert, tampered).unwrap();
+    let out = cli().args(["cert", "verify", "--fast", cert.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success(), "tampered certificate must fail --fast verification");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INVALID"));
+    let out = cli()
+        .args(["cert", "verify", cert.to_str().unwrap(), "--fast", "--json"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"valid\": false"), "{stdout}");
+    assert!(stdout.contains("\"fast\": true"), "{stdout}");
+}
+
+#[test]
+fn sim_vs_bound_writes_consistent_report() {
+    let out_file = tmp_dir().join("SIM_crossval.json");
+    let stdout = run_ok(&[
+        "sim-vs-bound",
+        "--n",
+        "500",
+        "--seed",
+        "7",
+        "--threads",
+        "2",
+        "--steps",
+        "2",
+        "--beam",
+        "3",
+        "--max-labels",
+        "8",
+        "--family",
+        "mis",
+        "--out",
+        out_file.to_str().unwrap(),
+    ]);
+    assert!(stdout.contains("mis:0:3"), "{stdout}");
+    assert!(stdout.contains("consistent"), "{stdout}");
+    assert!(!stdout.contains("INCONSISTENT"), "{stdout}");
+    assert!(!stdout.contains("coloring"), "--family must filter: {stdout}");
+    let report = std::fs::read_to_string(&out_file).unwrap();
+    assert!(report.contains("\"schema\": \"roundelim-sim-crossval-v1\""), "{report}");
+    assert!(report.contains("\"consistent\": true"), "{report}");
+}
+
+#[test]
 fn iterate_accepts_relaxation_templates() {
     let file = tmp_dir().join("sc-template-relax.problem");
     std::fs::write(&file, "name: sc\nnode: 1 0 0\nedge: 0 0 | 0 1\n").unwrap();

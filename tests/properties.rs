@@ -304,3 +304,238 @@ proptest! {
         prop_assert_eq!(t.complementary(&t), t == t.complement());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Simulator invariants: the CSR `PortGraph` against a naive edge-list
+// oracle, the streaming checker against the materializing one, and
+// thread-count / port-numbering invariance of the million-node paths.
+// ---------------------------------------------------------------------------
+
+use roundelim::sim::checker::{check, check_stream, CheckOptions, Violation};
+use roundelim::sim::generate::random_regular_seeded;
+use roundelim::sim::graph::PortGraph;
+use roundelim::sim::runner::FlatOutputs;
+
+/// A random simple graph as `(n, deduplicated edge list)`.
+fn arb_edge_list() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..=24).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+        proptest::collection::vec(any::<bool>(), pairs.len()).prop_map(move |keep| {
+            let edges: Vec<(usize, usize)> =
+                pairs.iter().zip(&keep).filter(|&(_, &k)| k).map(|(&e, _)| e).collect();
+            (n, edges)
+        })
+    })
+}
+
+/// The seed-era nested-Vec port assignment: push each endpoint in edge-list
+/// order, recording the reciprocal port. `adj[v]` lists `(neighbor, their
+/// port)` in port order. This is the semantics the CSR layout must preserve.
+fn oracle_ports(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<(usize, usize)>> {
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        let (pu, pv) = (adj[u].len(), adj[v].len());
+        adj[u].push((v, pv));
+        adj[v].push((u, pu));
+    }
+    adj
+}
+
+/// Port-order BFS on the oracle adjacency.
+fn oracle_bfs(adj: &[Vec<(usize, usize)>], root: usize) -> Vec<u32> {
+    let mut seen = vec![false; adj.len()];
+    let mut order = vec![root as u32];
+    seen[root] = true;
+    let mut head = 0;
+    while head < order.len() {
+        let v = order[head] as usize;
+        head += 1;
+        for &(w, _) in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                order.push(w as u32);
+            }
+        }
+    }
+    order
+}
+
+/// Textbook girth: BFS from every root; a non-tree edge `(u, w)` closes a
+/// cycle of length `dist[u] + dist[w] + 1`, and the minimum over all roots
+/// is exact on simple graphs.
+fn oracle_girth(adj: &[Vec<(usize, usize)>]) -> Option<usize> {
+    let n = adj.len();
+    let mut best: Option<usize> = None;
+    for root in 0..n {
+        let mut dist = vec![usize::MAX; n];
+        let mut parent = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::from([root]);
+        dist[root] = 0;
+        while let Some(u) = queue.pop_front() {
+            for &(w, _) in &adj[u] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    parent[w] = u;
+                    queue.push_back(w);
+                } else if w != parent[u] {
+                    let cycle = dist[u] + dist[w] + 1;
+                    if best.is_none_or(|b| cycle < b) {
+                        best = Some(cycle);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// A deterministic label row per node (derived from an LCG so the strategy
+/// space stays small), one label per port.
+fn lcg_rows(g: &PortGraph, n_labels: usize, seed: u64) -> Vec<Vec<Label>> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    (0..g.node_count())
+        .map(|v| (0..g.degree(v)).map(|_| Label::from_index(next() % n_labels)).collect())
+        .collect()
+}
+
+/// Count `check()` violations by the categories the streaming report keeps.
+fn categorize(violations: &[Violation]) -> (u64, u64, u64) {
+    let mut counts = (0u64, 0u64, 0u64);
+    for v in violations {
+        match v {
+            Violation::Degree { .. } => counts.0 += 1,
+            Violation::Node { .. } => counts.1 += 1,
+            Violation::Edge { .. } => counts.2 += 1,
+            Violation::OutputArity { .. } => panic!("aligned rows cannot mis-arity"),
+        }
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The CSR `PortGraph` reproduces the seed-era nested-Vec edge-list
+    /// semantics exactly: degrees, port targets, reciprocal ports, edge
+    /// iteration, BFS order, and girth.
+    #[test]
+    fn csr_matches_edge_list_oracle((n, edges) in arb_edge_list()) {
+        let g = PortGraph::from_edges(n, &edges).expect("valid simple graph");
+        let adj = oracle_ports(n, &edges);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), edges.len());
+        prop_assert_eq!(g.total_ports(), 2 * edges.len());
+        for (v, row) in adj.iter().enumerate() {
+            prop_assert_eq!(g.degree(v), row.len());
+            for (p, &(w, wp)) in row.iter().enumerate() {
+                let t = g.neighbor(v, p);
+                prop_assert_eq!((t.node_ix(), t.port_ix()), (w, wp));
+            }
+        }
+        let mut listed: Vec<(usize, usize)> = g.edges().map(|(u, _, v, _)| (u, v)).collect();
+        listed.sort_unstable();
+        let mut expected = edges.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(listed, expected);
+        prop_assert_eq!(g.bfs_order(0), oracle_bfs(&adj, 0));
+        prop_assert_eq!(g.girth(), oracle_girth(&adj));
+    }
+
+    /// The streaming checker returns the same verdict, the same per-kind
+    /// violation counts, and (below one chunk, with an uncapped witness
+    /// budget) the same violations in the same order as the materializing
+    /// checker — on arbitrary graphs, problems, and outputs.
+    #[test]
+    fn stream_checker_matches_materializing_checker(
+        p in arb_problem(),
+        (n, edges) in arb_edge_list(),
+        seed in any::<u64>(),
+    ) {
+        let g = PortGraph::from_edges(n, &edges).expect("valid simple graph");
+        let rows = lcg_rows(&g, p.alphabet().len(), seed);
+        let flat = FlatOutputs::from_rows(&g, &rows);
+        let violations = check(&p, &g, &rows);
+        let opts = CheckOptions { max_witnesses: usize::MAX, threads: 1 };
+        let report = check_stream(&p, &g, &flat, &opts);
+        prop_assert_eq!(report.is_valid(), violations.is_empty());
+        prop_assert_eq!(report.nodes_checked, n as u64);
+        prop_assert_eq!(
+            (report.degree_violations, report.node_violations, report.edge_violations),
+            categorize(&violations)
+        );
+        // n ≤ 24 < STREAM_CHUNK: single chunk, so witnesses are exactly
+        // `check`'s violations in `check`'s order.
+        prop_assert_eq!(&report.witnesses, &violations);
+        // The report is bit-identical for every thread count.
+        for threads in [2usize, 4] {
+            let again = check_stream(&p, &g, &flat, &CheckOptions { max_witnesses: usize::MAX, threads });
+            prop_assert_eq!(&again, &report);
+        }
+    }
+
+    /// Validity is a property of the labeling, not the port numbering:
+    /// renumbering ports (and permuting output rows to match) never changes
+    /// the checker's verdict or per-kind counts.
+    #[test]
+    fn checker_verdict_invariant_under_port_permutation(
+        p in arb_problem(),
+        (n, edges) in arb_edge_list(),
+        seed in any::<u64>(),
+    ) {
+        let g = PortGraph::from_edges(n, &edges).expect("valid simple graph");
+        let rows = lcg_rows(&g, p.alphabet().len(), seed);
+        let mut state = seed ^ 0x9E3779B97F4A7C15;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        // A random permutation per node (new port → old port).
+        let perms: Vec<Vec<usize>> = (0..n)
+            .map(|v| {
+                let mut perm: Vec<usize> = (0..g.degree(v)).collect();
+                for i in (1..perm.len()).rev() {
+                    perm.swap(i, next() % (i + 1));
+                }
+                perm
+            })
+            .collect();
+        let g2 = g.with_port_permutations(&perms);
+        let rows2: Vec<Vec<Label>> = perms
+            .iter()
+            .enumerate()
+            .map(|(v, perm)| perm.iter().map(|&old| rows[v][old]).collect())
+            .collect();
+        let base = check_stream(&p, &g, &FlatOutputs::from_rows(&g, &rows),
+            &CheckOptions { max_witnesses: 0, threads: 1 });
+        let permuted = check_stream(&p, &g2, &FlatOutputs::from_rows(&g2, &rows2),
+            &CheckOptions { max_witnesses: 0, threads: 1 });
+        prop_assert_eq!(base.is_valid(), permuted.is_valid());
+        prop_assert_eq!(
+            (base.degree_violations, base.node_violations, base.edge_violations),
+            (permuted.degree_violations, permuted.node_violations, permuted.edge_violations)
+        );
+    }
+
+    /// Seeded random-regular generation is a pure function of the seed:
+    /// bit-identical for every worker thread count.
+    #[test]
+    fn random_regular_generation_thread_invariant(
+        n in 6usize..=48,
+        d in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let n = if (n * d) % 2 == 1 { n + 1 } else { n };
+        let one = random_regular_seeded(n, d, 64, seed, 1);
+        for threads in [2usize, 4] {
+            prop_assert_eq!(&random_regular_seeded(n, d, 64, seed, threads), &one);
+        }
+        if let Some(g) = &one {
+            prop_assert!(g.is_regular(d));
+        }
+    }
+}
