@@ -27,7 +27,8 @@
 //! isomorphism class pays for one speedup computation) and 0-round
 //! solvability per model.
 
-use roundelim_core::error::Result;
+use crate::failpoint;
+use roundelim_core::error::{Error, Result};
 use roundelim_core::iso::are_isomorphic;
 use roundelim_core::problem::Problem;
 use roundelim_core::sequence::ZeroRoundModel;
@@ -144,6 +145,7 @@ impl CanonCache {
                 return (id, Some(p));
             }
         }
+        failpoint::hit("cache-insert");
         let id = NodeId(u32::try_from(self.entries.len()).expect("node count fits u32"));
         bucket.push(id);
         self.entries.push(Entry { problem: p, step: None, zero_round: [None, None] });
@@ -252,6 +254,84 @@ impl CanonCache {
         self.entries[id.index()].step = Some((succ, derived));
         (succ, back.is_none())
     }
+
+    /// A deep snapshot of the cache, for checkpointing. [`CanonCache::restore`]
+    /// rebuilds a behaviorally identical cache from it.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| (e.problem.clone(), e.step.clone(), e.zero_round))
+            .collect();
+        // The fingerprint index is exported verbatim (sorted by fingerprint
+        // for stable serialization bytes): it cannot be rebuilt from the
+        // entries alone, because only classes that were interned through
+        // the fingerprint path are registered in it.
+        let mut fps: Vec<(u64, Vec<NodeId>)> =
+            self.fps.iter().map(|(fp, ids)| (*fp, ids.clone())).collect();
+        fps.sort_unstable_by_key(|(fp, _)| *fp);
+        CacheSnapshot { entries, fps, stats: self.stats }
+    }
+
+    /// Rebuilds a cache from a snapshot. The canonical-key buckets are
+    /// recomputed from the representatives — iterating entries in id order
+    /// reproduces the original bucket order, since buckets grow in id order
+    /// at intern time — while the fingerprint index and the counters are
+    /// restored verbatim. The result deduplicates, memoizes, and counts
+    /// exactly like the cache the snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots with out-of-range node ids.
+    pub fn restore(snap: CacheSnapshot) -> Result<CanonCache> {
+        let n = snap.entries.len();
+        let bad = |reason: String| Error::Inconsistent { reason };
+        let mut cache = CanonCache { stats: snap.stats, ..CanonCache::default() };
+        for (i, (problem, step, zero_round)) in snap.entries.into_iter().enumerate() {
+            let id = NodeId(
+                u32::try_from(i).map_err(|_| bad("cache snapshot: too many entries".into()))?,
+            );
+            if let Some((succ, _)) = &step {
+                if succ.index() >= n {
+                    return Err(bad(format!(
+                        "cache snapshot: entry {i} has step successor {} out of range",
+                        succ.0
+                    )));
+                }
+            }
+            let key = cache_key(&problem);
+            cache.ids.entry(key).or_default().push(id);
+            cache.entries.push(Entry { problem, step, zero_round });
+        }
+        for (fp, ids) in snap.fps {
+            if let Some(id) = ids.iter().find(|id| id.index() >= n) {
+                return Err(bad(format!(
+                    "cache snapshot: fingerprint {fp:#x} indexes node {} out of range",
+                    id.0
+                )));
+            }
+            cache.fps.insert(fp, ids);
+        }
+        Ok(cache)
+    }
+}
+
+/// One class in a [`CacheSnapshot`]: the representative problem, the step
+/// memo (successor class plus the concrete derived problem), and the
+/// per-model 0-round memos.
+pub type SnapshotEntry = (Problem, Option<(NodeId, Problem)>, [Option<bool>; 2]);
+
+/// A deep, serializable snapshot of a [`CanonCache`]
+/// (see [`CanonCache::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct CacheSnapshot {
+    /// Per class, in id order (see [`SnapshotEntry`]).
+    pub entries: Vec<SnapshotEntry>,
+    /// The fingerprint index, sorted by fingerprint; ids inside a bucket
+    /// keep their registration order.
+    pub fps: Vec<(u64, Vec<NodeId>)>,
+    /// The counters at snapshot time.
+    pub stats: CacheStats,
 }
 
 /// Entry cap of the process-wide [`full_step_cached`] memo; beyond it new
@@ -398,6 +478,49 @@ mod tests {
         let b = full_step_cached(&p).unwrap();
         assert_eq!(a, b);
         assert_eq!(a, full_step(&p).unwrap().problem().clone());
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_behavior_and_counters() {
+        let mut cache = CanonCache::new();
+        let (id, _) = cache.intern(sc());
+        cache.step(id).unwrap();
+        assert!(!cache.is_zero_round(id, ZeroRoundModel::Oriented));
+        let trivial = Problem::parse("name: t\nnode: X X X\nedge: X X").unwrap();
+        let fp = fingerprint(&trivial);
+        cache.intern_fingerprinted(fp, trivial.clone());
+
+        let mut restored = CanonCache::restore(cache.snapshot()).unwrap();
+        assert_eq!(restored.len(), cache.len());
+        assert_eq!(restored.stats, cache.stats);
+        // Dedup still lands on the original ids through both intern paths.
+        let renamed = Problem::parse("name: r\nnode: B A A\nedge: A A | A B").unwrap();
+        let (rid, back) = restored.intern_keyed(cache_key(&renamed), renamed);
+        assert_eq!(rid, id);
+        assert!(back.is_some());
+        let (tid, tback) = restored.intern_fingerprinted(fp, trivial);
+        assert_eq!(tid.index(), 1);
+        assert!(tback.is_some());
+        // The step memo came along: no recomputation.
+        let misses = restored.stats.step_misses;
+        let (succ, _) = restored.step(id).unwrap();
+        assert_eq!(succ, id);
+        assert_eq!(restored.stats.step_misses, misses);
+        // So did the 0-round memo.
+        assert!(!restored.is_zero_round(id, ZeroRoundModel::Oriented));
+    }
+
+    #[test]
+    fn restore_rejects_out_of_range_ids() {
+        let mut cache = CanonCache::new();
+        let (id, _) = cache.intern(sc());
+        cache.step(id).unwrap();
+        let mut snap = cache.snapshot();
+        snap.entries[0].1.as_mut().unwrap().0 = NodeId(99);
+        assert!(CanonCache::restore(snap).is_err());
+        let mut snap2 = cache.snapshot();
+        snap2.fps.push((7, vec![NodeId(42)]));
+        assert!(CanonCache::restore(snap2).is_err());
     }
 
     #[test]

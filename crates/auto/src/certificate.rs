@@ -110,6 +110,13 @@ pub struct Certificate {
     pub problems: Vec<Problem>,
     /// `edges[i]` connects `problems[i]` to `problems[i+1]`.
     pub edges: Vec<Edge>,
+    /// Whether the producing search stopped early (time/expansion budget,
+    /// interruption, or depth exhaustion) before settling the problem. The
+    /// verdict is still fully verified — an incomplete lower bound is a
+    /// true bound that might improve with a larger budget. Only meaningful
+    /// on [`CertVerdict::LowerBound`]: unbounded and upper-bound verdicts
+    /// are conclusive by construction, so the marker is rejected there.
+    pub incomplete: bool,
     /// The claimed verdict.
     pub verdict: CertVerdict,
 }
@@ -179,6 +186,9 @@ impl Certificate {
             ));
         }
         let m = self.edges.len();
+        if self.incomplete && !matches!(self.verdict, CertVerdict::LowerBound { .. }) {
+            return fail("incomplete marker on a conclusive (unbounded/upper-bound) verdict");
+        }
         // 1. Replay every edge.
         for (i, edge) in self.edges.iter().enumerate() {
             let (cur, next) = (&self.problems[i], &self.problems[i + 1]);
@@ -283,12 +293,15 @@ impl Certificate {
     /// A one-line human summary of the verdict.
     pub fn summary(&self) -> String {
         let chain = format!("{} problems, {} steps", self.problems.len(), self.steps());
+        let partial = if self.incomplete { "; search incomplete" } else { "" };
         match &self.verdict {
             CertVerdict::Unbounded { cycle_start, .. } => format!(
                 "unbounded lower bound: Π_{} ≅ Π_{cycle_start} (fixed point; {chain})",
                 self.edges.len()
             ),
-            CertVerdict::LowerBound { rounds } => format!("lower bound {rounds} rounds ({chain})"),
+            CertVerdict::LowerBound { rounds } => {
+                format!("lower bound {rounds} rounds ({chain}{partial})")
+            }
             CertVerdict::UpperBound { rounds } => format!("upper bound {rounds} rounds ({chain})"),
         }
     }
@@ -302,26 +315,12 @@ impl Certificate {
     /// The certificate as a [`Json`] value (for embedding in larger
     /// documents, e.g. the CLI's `--json` reports).
     pub fn json_value(&self) -> Json {
-        let map_json =
-            |map: &[Label]| Json::Arr(map.iter().map(|l| Json::Num(l.index() as u64)).collect());
-        let edges = self
-            .edges
-            .iter()
-            .map(|e| match e {
-                Edge::Step => Json::obj([("kind", Json::Str("step".into()))]),
-                Edge::Relax { map } => {
-                    Json::obj([("kind", Json::Str("relax".into())), ("map", map_json(map))])
-                }
-                Edge::Harden { map } => {
-                    Json::obj([("kind", Json::Str("harden".into())), ("map", map_json(map))])
-                }
-            })
-            .collect();
+        let edges = self.edges.iter().map(edge_to_json).collect();
         let verdict = match &self.verdict {
             CertVerdict::Unbounded { cycle_start, iso_map } => Json::obj([
                 ("kind", Json::Str("unbounded".into())),
                 ("cycle_start", Json::Num(*cycle_start as u64)),
-                ("iso_map", map_json(iso_map)),
+                ("iso_map", label_map_to_json(iso_map)),
             ]),
             CertVerdict::LowerBound { rounds } => Json::obj([
                 ("kind", Json::Str("lower-bound".into())),
@@ -356,6 +355,7 @@ impl Certificate {
             ),
             ("problems", Json::Arr(self.problems.iter().map(|p| Json::Str(p.to_text())).collect())),
             ("edges", Json::Arr(edges)),
+            ("incomplete", Json::Bool(self.incomplete)),
             ("verdict", verdict),
         ])
     }
@@ -390,37 +390,17 @@ impl Certificate {
             .iter()
             .map(|p| Problem::parse(p.as_str().ok_or_else(|| bad("problem must be a string"))?))
             .collect::<Result<Vec<_>>>()?;
-        let parse_map = |j: &Json| -> Result<Vec<Label>> {
-            j.as_arr()
-                .ok_or_else(|| bad("`map` must be an array"))?
-                .iter()
-                .map(|n| {
-                    // Guard the label type's index range here: a cast that
-                    // wrapped would alias an out-of-range witness index onto
-                    // a valid label and could let a corrupt file verify.
-                    n.as_u64()
-                        .filter(|&x| x <= u64::from(u16::MAX))
-                        .map(|x| Label::from_index(x as usize))
-                })
-                .collect::<Option<Vec<_>>>()
-                .ok_or_else(|| bad("`map` entries must be label indices"))
-        };
         let edges = v
             .get("edges")
             .and_then(Json::as_arr)
             .ok_or_else(|| bad("missing `edges` array"))?
             .iter()
-            .map(|e| match e.get("kind").and_then(Json::as_str) {
-                Some("step") => Ok(Edge::Step),
-                Some("relax") => Ok(Edge::Relax {
-                    map: parse_map(e.get("map").ok_or_else(|| bad("relax edge needs `map`"))?)?,
-                }),
-                Some("harden") => Ok(Edge::Harden {
-                    map: parse_map(e.get("map").ok_or_else(|| bad("harden edge needs `map`"))?)?,
-                }),
-                _ => Err(bad("edge with missing or unknown `kind`")),
-            })
+            .map(edge_from_json)
             .collect::<Result<Vec<_>>>()?;
+        let incomplete = match v.get("incomplete") {
+            None => false,
+            Some(j) => j.as_bool().ok_or_else(|| bad("`incomplete` must be a boolean"))?,
+        };
         let vd = v.get("verdict").ok_or_else(|| bad("missing `verdict`"))?;
         let num = |key: &str| -> Result<usize> {
             vd.get(key)
@@ -431,13 +411,64 @@ impl Certificate {
         let verdict = match vd.get("kind").and_then(Json::as_str) {
             Some("unbounded") => CertVerdict::Unbounded {
                 cycle_start: num("cycle_start")?,
-                iso_map: parse_map(vd.get("iso_map").ok_or_else(|| bad("missing `iso_map`"))?)?,
+                iso_map: label_map_from_json(
+                    vd.get("iso_map").ok_or_else(|| bad("missing `iso_map`"))?,
+                )?,
             },
             Some("lower-bound") => CertVerdict::LowerBound { rounds: num("rounds")? },
             Some("upper-bound") => CertVerdict::UpperBound { rounds: num("rounds")? },
             _ => return Err(bad("verdict with missing or unknown `kind`")),
         };
-        Ok(Certificate { direction, model, problems, edges, verdict })
+        Ok(Certificate { direction, model, problems, edges, incomplete, verdict })
+    }
+}
+
+/// A label-map witness as a JSON array of label indices.
+pub(crate) fn label_map_to_json(map: &[Label]) -> Json {
+    Json::Arr(map.iter().map(|l| Json::Num(l.index() as u64)).collect())
+}
+
+/// Parses a label-map witness, guarding the label type's index range: a
+/// cast that wrapped would alias an out-of-range witness index onto a valid
+/// label and could let a corrupt file verify.
+pub(crate) fn label_map_from_json(j: &Json) -> Result<Vec<Label>> {
+    let bad = |reason: &str| Error::Parse { line: 0, reason: reason.to_owned() };
+    j.as_arr()
+        .ok_or_else(|| bad("`map` must be an array"))?
+        .iter()
+        .map(|n| {
+            n.as_u64().filter(|&x| x <= u64::from(u16::MAX)).map(|x| Label::from_index(x as usize))
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| bad("`map` entries must be label indices"))
+}
+
+/// A chain edge as a JSON object (shared between certificates and
+/// checkpoints, which persist the search graph's parent edges).
+pub(crate) fn edge_to_json(e: &Edge) -> Json {
+    match e {
+        Edge::Step => Json::obj([("kind", Json::Str("step".into()))]),
+        Edge::Relax { map } => {
+            Json::obj([("kind", Json::Str("relax".into())), ("map", label_map_to_json(map))])
+        }
+        Edge::Harden { map } => {
+            Json::obj([("kind", Json::Str("harden".into())), ("map", label_map_to_json(map))])
+        }
+    }
+}
+
+/// Parses a chain edge (inverse of [`edge_to_json`]).
+pub(crate) fn edge_from_json(e: &Json) -> Result<Edge> {
+    let bad = |reason: &str| Error::Parse { line: 0, reason: reason.to_owned() };
+    match e.get("kind").and_then(Json::as_str) {
+        Some("step") => Ok(Edge::Step),
+        Some("relax") => Ok(Edge::Relax {
+            map: label_map_from_json(e.get("map").ok_or_else(|| bad("relax edge needs `map`"))?)?,
+        }),
+        Some("harden") => Ok(Edge::Harden {
+            map: label_map_from_json(e.get("map").ok_or_else(|| bad("harden edge needs `map`"))?)?,
+        }),
+        _ => Err(bad("edge with missing or unknown `kind`")),
     }
 }
 
@@ -465,6 +496,7 @@ mod tests {
                     model: ZeroRoundModel::Oriented,
                     problems,
                     edges,
+                    incomplete: false,
                     verdict: CertVerdict::Unbounded { cycle_start: 0, iso_map: map },
                 };
             }
@@ -503,6 +535,7 @@ mod tests {
             model: ZeroRoundModel::Oriented,
             problems: vec![p, next],
             edges: vec![Edge::Step],
+            incomplete: false,
             verdict: CertVerdict::LowerBound { rounds: 5 },
         };
         assert!(over.verify_fast().is_err());
@@ -568,12 +601,57 @@ mod tests {
             model: ZeroRoundModel::Oriented,
             problems: vec![p, next],
             edges: vec![Edge::Step],
+            incomplete: false,
             verdict: CertVerdict::LowerBound { rounds: 5 },
         };
         let err = cert.verify().unwrap_err();
         assert!(err.reason.contains("exceeds"), "{err}");
         let ok = Certificate { verdict: CertVerdict::LowerBound { rounds: 1 }, ..cert };
         ok.verify().unwrap();
+    }
+
+    #[test]
+    fn incomplete_lower_bound_verifies_and_round_trips() {
+        let p = sc();
+        let next = full_step(&p).unwrap().problem().clone();
+        let cert = Certificate {
+            direction: Direction::Lower,
+            model: ZeroRoundModel::Oriented,
+            problems: vec![p, next],
+            edges: vec![Edge::Step],
+            incomplete: true,
+            verdict: CertVerdict::LowerBound { rounds: 1 },
+        };
+        cert.verify().unwrap();
+        assert!(cert.summary().contains("incomplete"), "{}", cert.summary());
+        let back = Certificate::from_json(&cert.to_json()).unwrap();
+        assert_eq!(cert, back);
+        assert!(back.incomplete);
+        // Over-claiming is rejected regardless of the incomplete marker: a
+        // partial verdict is still held to the replayed chain.
+        let over = Certificate { verdict: CertVerdict::LowerBound { rounds: 2 }, ..cert };
+        assert!(over.verify().is_err());
+    }
+
+    #[test]
+    fn incomplete_marker_on_conclusive_verdicts_is_rejected() {
+        let mut cert = fixed_point_cert();
+        cert.verify().unwrap();
+        cert.incomplete = true;
+        let err = cert.verify().unwrap_err();
+        assert!(err.reason.contains("incomplete"), "{err}");
+    }
+
+    #[test]
+    fn certificates_without_incomplete_field_still_parse() {
+        // Pre-marker certificate files omit the field; they parse as
+        // complete (the only thing such files ever recorded).
+        let cert = fixed_point_cert();
+        let mut json = cert.to_json();
+        json = json.replace("  \"incomplete\": false,\n", "");
+        assert_ne!(json, cert.to_json());
+        let back = Certificate::from_json(&json).unwrap();
+        assert_eq!(back, cert);
     }
 
     #[test]
@@ -585,6 +663,7 @@ mod tests {
             model: ZeroRoundModel::Oriented,
             problems: vec![p.clone(), p.clone()],
             edges: vec![Edge::Relax { map: identity.clone() }],
+            incomplete: false,
             verdict: CertVerdict::Unbounded { cycle_start: 0, iso_map: identity },
         };
         let err = cert.verify().unwrap_err();
@@ -607,6 +686,7 @@ mod tests {
             model: ZeroRoundModel::PlainPn,
             problems: vec![t],
             edges: vec![],
+            incomplete: false,
             verdict: CertVerdict::UpperBound { rounds: 0 },
         };
         cert.verify().unwrap();
@@ -631,6 +711,7 @@ mod tests {
             model: ZeroRoundModel::Oriented,
             problems: vec![p.clone(), p],
             edges: vec![Edge::Relax { map: vec![Label::from_index(0), Label::from_index(1)] }],
+            incomplete: false,
             verdict: CertVerdict::LowerBound { rounds: 0 },
         };
         cert.verify().unwrap();

@@ -1,0 +1,498 @@
+//! Crash-safe search snapshots.
+//!
+//! A [`Checkpoint`] is a complete capture of a bound search at a **depth
+//! boundary** (see [`crate::search::CheckpointConf`]): the interned
+//! isomorphism classes with their memos, the first-reach parent edges, the
+//! fingerprint index, the frontier/goal/deepest loop state, and the effort
+//! counters. Because the search is deterministic given that state, a
+//! resumed run replays exactly the suffix an uninterrupted run would have
+//! executed — verdict, certificate, and counters come out bit-identical at
+//! every thread count (property-tested in `tests/checkpoint.rs`).
+//!
+//! ## On-disk format
+//!
+//! A checkpoint file is a one-line FNV-1a checksum header followed by a
+//! pretty-printed JSON document (schema `roundelim-checkpoint-v1`):
+//!
+//! ```text
+//! fnv1a64:<16 hex digits>
+//! {
+//!   "schema": "roundelim-checkpoint-v1",
+//!   ...
+//! }
+//! ```
+//!
+//! Problems are embedded in the core text format (whose `to_text`/`parse`
+//! round trip is exact, alphabet order included). Files are written with
+//! [`atomic_write`] — temp file, fsync, rename — so a crash mid-write (or
+//! the `checkpoint-write` failpoint) leaves either the previous snapshot or
+//! the new one, never a torn file; [`Checkpoint::load`] additionally
+//! rejects any payload whose checksum does not match.
+
+use crate::certificate::{edge_from_json, edge_to_json, Direction, Edge};
+use crate::failpoint;
+use crate::json::Json;
+use crate::search::SearchStats;
+use roundelim_core::error::{Error, Result};
+use roundelim_core::io::atomic_write;
+use roundelim_core::sequence::ZeroRoundModel;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the on-disk format.
+pub const SCHEMA: &str = "roundelim-checkpoint-v1";
+
+/// The snapshot file inside a checkpoint directory.
+pub fn checkpoint_file(dir: &Path) -> PathBuf {
+    dir.join("search.ckpt.json")
+}
+
+/// One interned isomorphism class: the cache entry plus its search
+/// metadata, serialized side by side (they are indexed in lockstep).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkEntry {
+    /// Representative problem, in core text format.
+    pub problem: String,
+    /// Step edges on the first-reach path from the root.
+    pub depth: usize,
+    /// First-reach parent id and connecting edge.
+    pub parent: Option<(u32, Edge)>,
+    /// Memoized speedup: successor class id and the concrete derived
+    /// problem (text format).
+    pub step: Option<(u32, String)>,
+    /// Memoized 0-round verdicts, one slot per [`ZeroRoundModel`].
+    pub zero_round: [Option<bool>; 2],
+}
+
+/// A boundary snapshot of a bound search (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Which search produced this (resume rejects a direction mismatch).
+    pub direction: Direction,
+    /// The 0-round model of the search.
+    pub model: ZeroRoundModel,
+    /// The input problem, in core text format.
+    pub root: String,
+    /// [`crate::search::SearchOptions::beam_width`] at snapshot time.
+    pub beam_width: usize,
+    /// [`crate::search::SearchOptions::max_labels`] at snapshot time.
+    pub max_labels: usize,
+    /// [`crate::search::SearchOptions::use_relaxations`] at snapshot time.
+    pub use_relaxations: bool,
+    /// [`crate::search::SearchOptions::prune_siblings`] at snapshot time.
+    pub prune_siblings: bool,
+    /// The depth-loop counter at the boundary.
+    pub depth: usize,
+    /// Frontier entering `depth`.
+    pub frontier: Vec<u32>,
+    /// 0-round endpoints found so far.
+    pub goals: Vec<u32>,
+    /// Depth of the deepest non-goal chain endpoint.
+    pub deepest_depth: usize,
+    /// The deepest non-goal chain endpoint.
+    pub deepest_node: u32,
+    /// Effort counters at the boundary (cache counters included).
+    pub stats: SearchStats,
+    /// The interned classes, in id order.
+    pub entries: Vec<CkEntry>,
+    /// The cache's fingerprint index, sorted by fingerprint.
+    pub fps: Vec<(u64, Vec<u32>)>,
+}
+
+/// 64-bit FNV-1a over a byte string — small, dependency-free, and more
+/// than enough to catch truncation and bit rot (adversarial tampering is
+/// out of scope: a checkpoint is the search's own private state).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn opt_bool_json(v: Option<bool>) -> Json {
+    match v {
+        None => Json::Null,
+        Some(b) => Json::Bool(b),
+    }
+}
+
+fn direction_str(d: Direction) -> &'static str {
+    match d {
+        Direction::Lower => "lower-bound",
+        Direction::Upper => "upper-bound",
+    }
+}
+
+fn model_str(m: ZeroRoundModel) -> &'static str {
+    match m {
+        ZeroRoundModel::PlainPn => "plain-pn",
+        ZeroRoundModel::Oriented => "oriented",
+    }
+}
+
+fn ids_json(ids: &[u32]) -> Json {
+    Json::Arr(ids.iter().map(|&id| Json::Num(u64::from(id))).collect())
+}
+
+impl Checkpoint {
+    /// Writes the snapshot to `path` atomically (temp file + fsync +
+    /// rename), prefixed with its checksum line. Hits the
+    /// `checkpoint-write` failpoint first, so a fault-injection test can
+    /// crash the process at exactly this moment and assert that the
+    /// previous snapshot survives intact.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the atomic write.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let payload = self.json_value().to_string_pretty();
+        let body = format!("fnv1a64:{:016x}\n{payload}\n", fnv1a64(payload.as_bytes()));
+        failpoint::hit("checkpoint-write");
+        atomic_write(path, &body)
+    }
+
+    /// Reads and validates a snapshot written by [`Checkpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a checksum mismatch (torn or corrupted file), an
+    /// unknown schema, or a malformed payload.
+    pub fn load(path: &Path) -> Result<Checkpoint> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::Io { path: path.display().to_string(), reason: e.to_string() })?;
+        let bad = |reason: &str| Error::Inconsistent { reason: format!("checkpoint: {reason}") };
+        let (head, rest) =
+            text.split_once('\n').ok_or_else(|| bad("missing checksum header line"))?;
+        let sum = head
+            .strip_prefix("fnv1a64:")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| bad("malformed checksum header"))?;
+        let payload = rest.strip_suffix('\n').unwrap_or(rest);
+        if fnv1a64(payload.as_bytes()) != sum {
+            return Err(bad("checksum mismatch (torn or corrupted snapshot)"));
+        }
+        Checkpoint::from_json(payload)
+    }
+
+    /// The snapshot as a [`Json`] value.
+    pub fn json_value(&self) -> Json {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("problem", Json::Str(e.problem.clone())),
+                    ("depth", Json::Num(e.depth as u64)),
+                    (
+                        "zero_round",
+                        Json::Arr(e.zero_round.iter().map(|&v| opt_bool_json(v)).collect()),
+                    ),
+                ];
+                if let Some((pid, edge)) = &e.parent {
+                    fields.push((
+                        "parent",
+                        Json::obj([
+                            ("id", Json::Num(u64::from(*pid))),
+                            ("edge", edge_to_json(edge)),
+                        ]),
+                    ));
+                }
+                if let Some((succ, derived)) = &e.step {
+                    fields.push((
+                        "step",
+                        Json::obj([
+                            ("succ", Json::Num(u64::from(*succ))),
+                            ("derived", Json::Str(derived.clone())),
+                        ]),
+                    ));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        let fps = self
+            .fps
+            .iter()
+            .map(|(fp, ids)| Json::obj([("fp", Json::Num(*fp)), ("ids", ids_json(ids))]))
+            .collect();
+        let stats = Json::obj([
+            ("expanded", Json::Num(self.stats.expanded as u64)),
+            ("step_failures", Json::Num(self.stats.step_failures as u64)),
+            ("depth_reached", Json::Num(self.stats.depth_reached as u64)),
+            ("worker_panics", Json::Num(self.stats.worker_panics as u64)),
+            ("classes", Json::Num(self.stats.cache.classes as u64)),
+            ("dedup_hits", Json::Num(self.stats.cache.dedup_hits as u64)),
+            ("iso_resolutions", Json::Num(self.stats.cache.iso_resolutions as u64)),
+            ("step_hits", Json::Num(self.stats.cache.step_hits as u64)),
+            ("step_misses", Json::Num(self.stats.cache.step_misses as u64)),
+        ]);
+        Json::obj([
+            ("schema", Json::Str(SCHEMA.into())),
+            ("direction", Json::Str(direction_str(self.direction).into())),
+            ("model", Json::Str(model_str(self.model).into())),
+            ("root", Json::Str(self.root.clone())),
+            ("beam_width", Json::Num(self.beam_width as u64)),
+            ("max_labels", Json::Num(self.max_labels as u64)),
+            ("use_relaxations", Json::Bool(self.use_relaxations)),
+            ("prune_siblings", Json::Bool(self.prune_siblings)),
+            ("depth", Json::Num(self.depth as u64)),
+            ("frontier", ids_json(&self.frontier)),
+            ("goals", ids_json(&self.goals)),
+            ("deepest_depth", Json::Num(self.deepest_depth as u64)),
+            ("deepest_node", Json::Num(u64::from(self.deepest_node))),
+            ("stats", stats),
+            ("entries", Json::Arr(entries)),
+            ("fps", Json::Arr(fps)),
+        ])
+    }
+
+    /// Parses the JSON payload written by [`Checkpoint::json_value`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`]/[`Error::Inconsistent`] on malformed documents.
+    /// Structural validation against the search (id ranges, ancestry) is
+    /// done at restore time, not here.
+    pub fn from_json(text: &str) -> Result<Checkpoint> {
+        let bad = |reason: &str| Error::Parse { line: 0, reason: format!("checkpoint: {reason}") };
+        let v = Json::parse(text).map_err(|e| Error::Parse { line: 0, reason: e })?;
+        if v.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            return Err(bad("missing or unknown `schema`"));
+        }
+        let direction = match v.get("direction").and_then(Json::as_str) {
+            Some("lower-bound") => Direction::Lower,
+            Some("upper-bound") => Direction::Upper,
+            _ => return Err(bad("missing or unknown `direction`")),
+        };
+        let model = match v.get("model").and_then(Json::as_str) {
+            Some("plain-pn") => ZeroRoundModel::PlainPn,
+            Some("oriented") => ZeroRoundModel::Oriented,
+            _ => return Err(bad("missing or unknown `model`")),
+        };
+        let str_field = |key: &str| -> Result<String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| bad(&format!("missing string `{key}`")))
+        };
+        let num = |j: Option<&Json>, key: &str| -> Result<u64> {
+            j.and_then(Json::as_u64).ok_or_else(|| bad(&format!("missing number `{key}`")))
+        };
+        let boolean = |key: &str| -> Result<bool> {
+            v.get(key).and_then(Json::as_bool).ok_or_else(|| bad(&format!("missing bool `{key}`")))
+        };
+        let node_id = |j: &Json, key: &str| -> Result<u32> {
+            j.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| bad(&format!("`{key}` entries must be node ids")))
+        };
+        let id_list = |key: &str| -> Result<Vec<u32>> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad(&format!("missing array `{key}`")))?
+                .iter()
+                .map(|j| node_id(j, key))
+                .collect()
+        };
+        let stats_obj = v.get("stats").ok_or_else(|| bad("missing `stats`"))?;
+        let stat =
+            |key: &str| -> Result<usize> { num(stats_obj.get(key), key).map(|n| n as usize) };
+        let stats = SearchStats {
+            expanded: stat("expanded")?,
+            step_failures: stat("step_failures")?,
+            depth_reached: stat("depth_reached")?,
+            worker_panics: stat("worker_panics")?,
+            cache: crate::cache::CacheStats {
+                classes: stat("classes")?,
+                dedup_hits: stat("dedup_hits")?,
+                iso_resolutions: stat("iso_resolutions")?,
+                step_hits: stat("step_hits")?,
+                step_misses: stat("step_misses")?,
+            },
+        };
+        let entries = v
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `entries` array"))?
+            .iter()
+            .map(|e| {
+                let problem = e
+                    .get("problem")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("entry missing `problem`"))?
+                    .to_owned();
+                let depth = num(e.get("depth"), "depth")? as usize;
+                let zero_round_arr = e
+                    .get("zero_round")
+                    .and_then(Json::as_arr)
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| bad("entry needs a 2-slot `zero_round`"))?;
+                let mut zero_round = [None, None];
+                for (slot, j) in zero_round.iter_mut().zip(zero_round_arr) {
+                    *slot = match j {
+                        Json::Null => None,
+                        Json::Bool(b) => Some(*b),
+                        _ => return Err(bad("`zero_round` slots must be null or bool")),
+                    };
+                }
+                let parent = match e.get("parent") {
+                    None => None,
+                    Some(p) => Some((
+                        num(p.get("id"), "parent id").and_then(|n| {
+                            u32::try_from(n).map_err(|_| bad("parent id out of range"))
+                        })?,
+                        edge_from_json(p.get("edge").ok_or_else(|| bad("parent needs `edge`"))?)?,
+                    )),
+                };
+                let step = match e.get("step") {
+                    None => None,
+                    Some(s) => Some((
+                        num(s.get("succ"), "step succ").and_then(|n| {
+                            u32::try_from(n).map_err(|_| bad("step succ out of range"))
+                        })?,
+                        s.get("derived")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| bad("step needs `derived`"))?
+                            .to_owned(),
+                    )),
+                };
+                Ok(CkEntry { problem, depth, parent, step, zero_round })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let fps = v
+            .get("fps")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `fps` array"))?
+            .iter()
+            .map(|b| {
+                let fp = num(b.get("fp"), "fp")?;
+                let ids = b
+                    .get("ids")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("fps bucket needs `ids`"))?
+                    .iter()
+                    .map(|j| node_id(j, "fps ids"))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok((fp, ids))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Checkpoint {
+            direction,
+            model,
+            root: str_field("root")?,
+            beam_width: num(v.get("beam_width"), "beam_width")? as usize,
+            max_labels: num(v.get("max_labels"), "max_labels")? as usize,
+            use_relaxations: boolean("use_relaxations")?,
+            prune_siblings: boolean("prune_siblings")?,
+            depth: num(v.get("depth"), "depth")? as usize,
+            frontier: id_list("frontier")?,
+            goals: id_list("goals")?,
+            deepest_depth: num(v.get("deepest_depth"), "deepest_depth")? as usize,
+            deepest_node: num(v.get("deepest_node"), "deepest_node")
+                .and_then(|n| u32::try_from(n).map_err(|_| bad("deepest_node out of range")))?,
+            stats,
+            entries,
+            fps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            direction: Direction::Lower,
+            model: ZeroRoundModel::Oriented,
+            root: "name: sc\nlabels: 1 0\nnode: 1 0 0\nedge: 0 0 | 0 1\n".into(),
+            beam_width: 8,
+            max_labels: 12,
+            use_relaxations: true,
+            prune_siblings: true,
+            depth: 2,
+            frontier: vec![3, 4],
+            goals: vec![5],
+            deepest_depth: 2,
+            deepest_node: 3,
+            stats: SearchStats {
+                expanded: 7,
+                step_failures: 1,
+                depth_reached: 2,
+                worker_panics: 0,
+                cache: crate::cache::CacheStats {
+                    classes: 6,
+                    dedup_hits: 4,
+                    iso_resolutions: 2,
+                    step_hits: 1,
+                    step_misses: 5,
+                },
+            },
+            entries: (0..6)
+                .map(|i| CkEntry {
+                    problem: format!("p{i}"),
+                    depth: i / 3,
+                    parent: if i == 0 {
+                        None
+                    } else {
+                        Some((
+                            (i - 1) as u32,
+                            if i % 2 == 0 {
+                                Edge::Step
+                            } else {
+                                Edge::Relax {
+                                    map: vec![roundelim_core::label::Label::from_index(0)],
+                                }
+                            },
+                        ))
+                    },
+                    step: if i == 2 { Some((3, "pd".into())) } else { None },
+                    zero_round: [Some(i == 5), None],
+                })
+                .collect(),
+            fps: vec![(0x1234, vec![0, 2]), (0xffff_ffff_ffff_ffff, vec![5])],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let ck = sample();
+        let back = Checkpoint::from_json(&ck.json_value().to_string_pretty()).unwrap();
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn save_load_round_trips_and_is_checksummed() {
+        let dir = std::env::temp_dir().join(format!("roundelim-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = checkpoint_file(&dir);
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        // Flip one payload byte: the checksum must catch it.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = text.replace("\"beam_width\": 8", "\"beam_width\": 9");
+        std::fs::write(&path, &text).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Truncation is caught too.
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let ck = sample();
+        let payload = ck.json_value().to_string_pretty().replace(SCHEMA, "bogus-v0");
+        assert!(Checkpoint::from_json(&payload).is_err());
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -57,6 +57,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The element list, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
@@ -360,6 +368,8 @@ mod tests {
         assert!(v.get("missing").is_none());
         assert_eq!(Json::Str("x".into()).as_str(), Some("x"));
         assert!(Json::Num(1).as_arr().is_none());
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert!(Json::Num(1).as_bool().is_none());
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! * [`certificate`] — replayable [`certificate::Certificate`]s checked by
 //!   an independent verifier that uses only `roundelim-core` primitives,
 //!   so search bugs cannot produce wrong bounds;
+//! * [`checkpoint`] — crash-safe boundary snapshots of a running search,
+//!   written atomically and checksummed, from which a killed search
+//!   resumes bit-identically;
+//! * [`failpoint`] — the fault-injection layer (`ROUNDELIM_FAILPOINTS`)
+//!   behind the crash-recovery test harness;
 //! * [`json`] — the self-contained JSON reader/writer behind certificate
 //!   files and the CLI's `--json` output.
 //!
@@ -45,6 +50,8 @@
 
 pub mod cache;
 pub mod certificate;
+pub mod checkpoint;
+pub mod failpoint;
 pub mod json;
 pub mod moves;
 pub mod score;
@@ -52,4 +59,6 @@ pub mod search;
 
 pub use cache::{CanonCache, NodeId};
 pub use certificate::{CertError, CertVerdict, Certificate, Direction, Edge};
-pub use search::{autolb, autoub, Outcome, SearchOptions, SearchStats, Verdict};
+pub use search::{
+    autolb, autoub, CheckpointConf, Outcome, SearchOptions, SearchStats, StopCause, Verdict,
+};

@@ -36,16 +36,21 @@
 //! cores) only sets how fast it arrives.
 
 use crate::cache::{
-    cache_key, fingerprint, full_step_cached, CacheKey, CacheStats, CanonCache, NodeId,
+    cache_key, fingerprint, full_step_cached, CacheKey, CacheSnapshot, CacheStats, CanonCache,
+    NodeId,
 };
 use crate::certificate::{CertVerdict, Certificate, Direction, Edge};
+use crate::checkpoint::{checkpoint_file, Checkpoint, CkEntry};
+use crate::failpoint;
 use crate::moves::{harden_moves, harden_moves_pruned, relax_moves, relax_moves_pruned};
 use crate::score::score;
-use roundelim_core::error::Result;
+use roundelim_core::error::{Error, Result};
 use roundelim_core::iso::isomorphism;
 use roundelim_core::problem::Problem;
 use roundelim_core::profile::{span, Stage};
 use roundelim_core::sequence::ZeroRoundModel;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`autolb`] / [`autoub`].
 #[derive(Debug, Clone)]
@@ -72,6 +77,21 @@ pub struct SearchOptions {
     /// (property-tested); `false` exists for that cross-check and costs
     /// the duplicated canonicalization work.
     pub prune_siblings: bool,
+    /// Wall-clock budget. On exhaustion the search stops at the next poll
+    /// point and emits its best already-verified partial result
+    /// ([`StopCause::TimeBudget`]). Inherently timing-dependent — for
+    /// reproducible budget stops use [`SearchOptions::max_expansions`].
+    pub time_budget: Option<Duration>,
+    /// Expansion budget, checked at depth boundaries only, so a budget
+    /// stop is deterministic: the same budget always stops at the same
+    /// boundary with the same partial result ([`StopCause::ExpansionBudget`]).
+    pub max_expansions: Option<usize>,
+    /// Checkpoint persistence; `None` runs without any on-disk state.
+    pub checkpoint: Option<CheckpointConf>,
+    /// Cooperative cancellation probe (e.g. a SIGTERM flag), polled at the
+    /// same points as the time budget; returning `true` stops the search
+    /// gracefully ([`StopCause::Interrupted`]).
+    pub cancel: Option<fn() -> bool>,
 }
 
 impl Default for SearchOptions {
@@ -84,6 +104,75 @@ impl Default for SearchOptions {
             threads: 0,
             model: ZeroRoundModel::Oriented,
             prune_siblings: true,
+            time_budget: None,
+            max_expansions: None,
+            checkpoint: None,
+            cancel: None,
+        }
+    }
+}
+
+/// Checkpoint persistence settings (see [`SearchOptions::checkpoint`]).
+///
+/// Snapshots are written only at **depth boundaries** — the top of the
+/// step-depth loop, where the cache, the per-node metadata, and the loop
+/// state are mutually consistent — so a resumed search replays exactly the
+/// suffix an uninterrupted search would have run. A search that completes
+/// deletes its snapshot; one stopped by a budget or interruption leaves the
+/// latest boundary snapshot behind for [`CheckpointConf::resume`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConf {
+    /// Directory holding the snapshot file ([`checkpoint_file`] names it).
+    pub dir: PathBuf,
+    /// Write a snapshot at the first depth boundary at which at least this
+    /// many expansions happened since the last write (1 = every boundary
+    /// with progress).
+    pub every_expansions: usize,
+    /// Continue from an existing snapshot in `dir` if one is present (a
+    /// missing file falls back to a fresh start, which makes resuming after
+    /// a crash-before-first-write safe).
+    pub resume: bool,
+}
+
+impl CheckpointConf {
+    /// Checkpointing into `dir` at every boundary, without resume.
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointConf {
+        CheckpointConf { dir: dir.into(), every_expansions: 1, resume: false }
+    }
+}
+
+/// Why the search stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The search ran to its natural end: a conclusive verdict, or the
+    /// reachable graph was exhausted.
+    Completed,
+    /// [`SearchOptions::max_steps`] was reached with a live frontier; a
+    /// deeper budget may improve the bound.
+    DepthExhausted,
+    /// [`SearchOptions::time_budget`] expired.
+    TimeBudget,
+    /// [`SearchOptions::max_expansions`] was reached.
+    ExpansionBudget,
+    /// [`SearchOptions::cancel`] reported an interruption (e.g. SIGTERM).
+    Interrupted,
+}
+
+impl StopCause {
+    /// Whether the stop was forced by a budget or interruption (as opposed
+    /// to running to natural completion or the configured depth).
+    pub fn is_forced(self) -> bool {
+        matches!(self, StopCause::TimeBudget | StopCause::ExpansionBudget | StopCause::Interrupted)
+    }
+
+    /// Stable machine-readable name (used in JSON reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopCause::Completed => "completed",
+            StopCause::DepthExhausted => "depth-exhausted",
+            StopCause::TimeBudget => "time-budget",
+            StopCause::ExpansionBudget => "expansion-budget",
+            StopCause::Interrupted => "interrupted",
         }
     }
 }
@@ -110,7 +199,7 @@ pub enum Verdict {
 }
 
 /// Search effort counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Nodes whose speedup step was taken.
     pub expanded: usize,
@@ -119,6 +208,10 @@ pub struct SearchStats {
     pub step_failures: usize,
     /// Step depth reached.
     pub depth_reached: usize,
+    /// Worker-thread panics captured by the parallel map; each one costs
+    /// the panicking item's results (the beam degrades) but never the
+    /// search.
+    pub worker_panics: usize,
     /// Canonical-form cache counters.
     pub cache: CacheStats,
 }
@@ -132,6 +225,9 @@ pub struct Outcome {
     /// The certificate backing the verdict (`None` only for
     /// [`Verdict::Inconclusive`]).
     pub certificate: Option<Certificate>,
+    /// Why the search stopped. A forced stop ([`StopCause::is_forced`])
+    /// still carries a fully verified — if partial — certificate.
+    pub stop: StopCause,
     /// Effort counters.
     pub stats: SearchStats,
 }
@@ -152,28 +248,56 @@ fn resolve_threads(opt: usize) -> usize {
 /// Maps `f` over contiguous chunks of `items` on scoped worker threads,
 /// returning per-item results in item order. Results are bit-identical for
 /// every thread count: only the schedule changes.
-fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+///
+/// A panic inside `f` is captured per item: the item's slot comes back
+/// `None` and the second return value counts the panics, so one poisoned
+/// problem degrades the beam instead of aborting the search. (The panic
+/// payload is dropped; the default panic hook has already printed it.)
+fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> (Vec<Option<R>>, usize)
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if threads <= 1 || items.len() < 2 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .skip(1)
-            .map(|part| s.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
-            .collect();
-        let mut out: Vec<R> = items[..chunk.min(items.len())].iter().map(&f).collect();
-        for h in handles {
-            out.extend(h.join().expect("search worker panicked"));
-        }
-        out
-    })
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    // `f` is pure per-item work over `&T`; a panic cannot leave behind
+    // broken shared state, so the unwind-safety assertion is sound.
+    let call = |item: &T| {
+        catch_unwind(AssertUnwindSafe(|| {
+            failpoint::hit("worker-panic");
+            f(item)
+        }))
+        .ok()
+    };
+    let call = &call;
+    let out: Vec<Option<R>> = if threads <= 1 || items.len() < 2 {
+        items.iter().map(call).collect()
+    } else {
+        let chunk = items.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .skip(1)
+                .map(|part| {
+                    (part.len(), s.spawn(move || part.iter().map(call).collect::<Vec<_>>()))
+                })
+                .collect();
+            let mut out: Vec<Option<R>> =
+                items[..chunk.min(items.len())].iter().map(call).collect();
+            for (len, h) in handles {
+                match h.join() {
+                    Ok(v) => out.extend(v),
+                    // Only reachable if the unwind escaped catch_unwind
+                    // (e.g. a panicking panic payload): count the whole
+                    // chunk as lost rather than poisoning the search.
+                    Err(_) => out.extend(std::iter::repeat_with(|| None).take(len)),
+                }
+            }
+            out
+        })
+    };
+    let panics = out.iter().filter(|r| r.is_none()).count();
+    (out, panics)
 }
 
 /// Per-node search bookkeeping, indexed by [`NodeId`] in lockstep with the
@@ -193,6 +317,26 @@ struct Search {
     opts: SearchOptions,
     threads: usize,
     stats: SearchStats,
+    /// Wall-clock anchor for [`SearchOptions::time_budget`] (restarts on
+    /// resume: the budget is per process run, not cumulative).
+    started: Instant,
+    /// Expansion count at the last checkpoint write (`None` = never
+    /// written this run, so the first boundary writes immediately).
+    last_ckpt: Option<usize>,
+}
+
+/// The depth-loop state of [`autolb`]/[`autoub`] — everything the loops
+/// carry besides the [`Search`] itself, split out so a checkpoint can
+/// capture and restore it wholesale.
+struct LoopState {
+    /// Current step depth (the loop counter).
+    depth: usize,
+    /// Frontier entering this depth.
+    frontier: Vec<NodeId>,
+    /// 0-round endpoints found so far.
+    goals: Vec<NodeId>,
+    /// Deepest non-goal chain endpoint seen (depth, node).
+    deepest: (usize, NodeId),
 }
 
 /// A cycle hit: expanding `from` with `edge` derived `problem`, whose class
@@ -212,6 +356,246 @@ impl Search {
             opts: opts.clone(),
             threads: resolve_threads(opts.threads),
             stats: SearchStats::default(),
+            started: Instant::now(),
+            last_ckpt: None,
+        }
+    }
+
+    /// Sets up a search on `p`: resumes from an on-disk checkpoint when the
+    /// options ask for it and one exists, else starts fresh. The root is
+    /// always [`NodeId`] 0. The `bool` is `true` for a fresh start.
+    fn init(
+        p: &Problem,
+        opts: &SearchOptions,
+        direction: Direction,
+    ) -> Result<(Search, LoopState, bool)> {
+        if let Some(conf) = &opts.checkpoint {
+            if conf.resume {
+                let path = checkpoint_file(&conf.dir);
+                if path.exists() {
+                    let ck = Checkpoint::load(&path)?;
+                    let (s, st) = Search::from_checkpoint(ck, opts, direction, p)?;
+                    return Ok((s, st, false));
+                }
+            }
+        }
+        let mut s = Search::new(opts);
+        let key = cache_key(p);
+        let (root, _) = s.intern(p.clone(), key, None, 0);
+        debug_assert_eq!(root, NodeId(0));
+        let st =
+            LoopState { depth: 0, frontier: vec![root], goals: Vec::new(), deepest: (0, root) };
+        Ok((s, st, true))
+    }
+
+    /// First stop cause that currently applies, if any. Polled at depth
+    /// boundaries (all causes) and at mid-depth points (where the
+    /// expansion check is still deterministic: `expanded` only moves at
+    /// boundaries).
+    fn stop_cause(&self) -> Option<StopCause> {
+        if self.opts.cancel.is_some_and(|probe| probe()) {
+            return Some(StopCause::Interrupted);
+        }
+        if self.opts.time_budget.is_some_and(|b| self.started.elapsed() >= b) {
+            return Some(StopCause::TimeBudget);
+        }
+        if self.opts.max_expansions.is_some_and(|m| self.stats.expanded >= m) {
+            return Some(StopCause::ExpansionBudget);
+        }
+        None
+    }
+
+    /// The non-deterministic stop signals only (wall clock, cancellation),
+    /// safe to poll anywhere — inside the relaxation closure, between
+    /// stages — without affecting deterministic (budget/fresh) runs.
+    fn soft_stop(&self) -> bool {
+        self.opts.cancel.is_some_and(|probe| probe())
+            || self.opts.time_budget.is_some_and(|b| self.started.elapsed() >= b)
+    }
+
+    /// Captures the complete search state at a depth boundary.
+    fn to_checkpoint(&self, st: &LoopState, direction: Direction, root: &Problem) -> Checkpoint {
+        let snap = self.cache.snapshot();
+        let entries = snap
+            .entries
+            .into_iter()
+            .zip(&self.meta)
+            .map(|((problem, step, zero_round), m)| CkEntry {
+                problem: problem.to_text(),
+                depth: m.depth,
+                parent: m.parent.as_ref().map(|(id, e)| (id.0, e.clone())),
+                step: step.map(|(succ, derived)| (succ.0, derived.to_text())),
+                zero_round,
+            })
+            .collect();
+        let mut stats = self.stats;
+        stats.cache = snap.stats;
+        Checkpoint {
+            direction,
+            model: self.opts.model,
+            root: root.to_text(),
+            beam_width: self.opts.beam_width,
+            max_labels: self.opts.max_labels,
+            use_relaxations: self.opts.use_relaxations,
+            prune_siblings: self.opts.prune_siblings,
+            depth: st.depth,
+            frontier: st.frontier.iter().map(|n| n.0).collect(),
+            goals: st.goals.iter().map(|n| n.0).collect(),
+            deepest_depth: st.deepest.0,
+            deepest_node: st.deepest.1 .0,
+            stats,
+            entries,
+            fps: snap
+                .fps
+                .into_iter()
+                .map(|(fp, ids)| (fp, ids.into_iter().map(|n| n.0).collect()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the boundary state captured by [`Search::to_checkpoint`].
+    /// The continuation is a pure function of this state and the options,
+    /// so the resumed search produces the verdict, certificate, and
+    /// counters of the uninterrupted run, bit for bit.
+    fn from_checkpoint(
+        ck: Checkpoint,
+        opts: &SearchOptions,
+        direction: Direction,
+        root: &Problem,
+    ) -> Result<(Search, LoopState)> {
+        let bad = |reason: String| Error::Inconsistent { reason };
+        if ck.direction != direction {
+            return Err(bad("checkpoint direction does not match this search".into()));
+        }
+        if ck.root != root.to_text() {
+            return Err(bad("checkpoint was taken on a different input problem".into()));
+        }
+        if ck.model != opts.model
+            || ck.beam_width != opts.beam_width
+            || ck.max_labels != opts.max_labels
+            || ck.use_relaxations != opts.use_relaxations
+            || ck.prune_siblings != opts.prune_siblings
+        {
+            return Err(bad("checkpoint was produced with different search options \
+                 (model/beam/max-labels/relaxations/pruning must match; \
+                 steps, budgets and threads may differ)"
+                .into()));
+        }
+        let n = ck.entries.len();
+        if n == 0 {
+            return Err(bad("checkpoint has no interned problems".into()));
+        }
+        let node = |id: u32, what: &str| -> Result<NodeId> {
+            if (id as usize) < n {
+                Ok(NodeId(id))
+            } else {
+                Err(bad(format!("checkpoint {what} id {id} out of range ({n} entries)")))
+            }
+        };
+        let mut entries = Vec::with_capacity(n);
+        let mut meta = Vec::with_capacity(n);
+        for (i, e) in ck.entries.into_iter().enumerate() {
+            let problem = Problem::parse(&e.problem)?;
+            let step = match e.step {
+                None => None,
+                Some((succ, derived)) => {
+                    Some((node(succ, "step successor")?, Problem::parse(&derived)?))
+                }
+            };
+            let parent = match e.parent {
+                None => None,
+                Some((pid, edge)) => {
+                    let pid = node(pid, "parent")?;
+                    // First-reach parents strictly precede their children;
+                    // anything else would let `is_ancestor` loop forever.
+                    if pid.index() >= i {
+                        return Err(bad(format!(
+                            "checkpoint entry {i} has non-ancestral parent {}",
+                            pid.0
+                        )));
+                    }
+                    Some((pid, edge))
+                }
+            };
+            entries.push((problem, step, e.zero_round));
+            meta.push(Meta { depth: e.depth, parent });
+        }
+        if entries[0].0.to_text() != ck.root {
+            return Err(bad("checkpoint root is not its first entry".into()));
+        }
+        let fps = ck
+            .fps
+            .into_iter()
+            .map(|(fp, ids)| {
+                let ids = ids
+                    .into_iter()
+                    .map(|id| node(id, "fingerprint"))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok((fp, ids))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let cache = CanonCache::restore(CacheSnapshot { entries, fps, stats: ck.stats.cache })?;
+        let frontier =
+            ck.frontier.into_iter().map(|id| node(id, "frontier")).collect::<Result<Vec<_>>>()?;
+        let goals = ck.goals.into_iter().map(|id| node(id, "goal")).collect::<Result<Vec<_>>>()?;
+        let deepest = (ck.deepest_depth, node(ck.deepest_node, "deepest")?);
+        let s = Search {
+            cache,
+            meta,
+            opts: opts.clone(),
+            threads: resolve_threads(opts.threads),
+            stats: ck.stats,
+            started: Instant::now(),
+            // Nothing new since the snapshot we just loaded.
+            last_ckpt: Some(ck.stats.expanded),
+        };
+        Ok((s, LoopState { depth: ck.depth, frontier, goals, deepest }))
+    }
+
+    /// Writes a boundary checkpoint if one is configured and due.
+    fn maybe_checkpoint(
+        &mut self,
+        st: &LoopState,
+        direction: Direction,
+        root: &Problem,
+    ) -> Result<()> {
+        let Some(conf) = &self.opts.checkpoint else {
+            return Ok(());
+        };
+        let due = match self.last_ckpt {
+            None => true,
+            Some(at) => self.stats.expanded.saturating_sub(at) >= conf.every_expansions,
+        };
+        if due {
+            self.write_checkpoint(st, direction, root)?;
+        }
+        Ok(())
+    }
+
+    /// Unconditionally writes a boundary checkpoint (no-op without a
+    /// checkpoint configuration). Called for due periodic writes and for
+    /// the final write on a forced stop.
+    fn write_checkpoint(
+        &mut self,
+        st: &LoopState,
+        direction: Direction,
+        root: &Problem,
+    ) -> Result<()> {
+        let Some(conf) = &self.opts.checkpoint else {
+            return Ok(());
+        };
+        let path = checkpoint_file(&conf.dir);
+        self.to_checkpoint(st, direction, root).save(&path)?;
+        self.last_ckpt = Some(self.stats.expanded);
+        Ok(())
+    }
+
+    /// Removes the on-disk snapshot after a completed search: a later
+    /// `--resume` must rerun from scratch, not replay a finished search's
+    /// stale frontier.
+    fn clear_checkpoint(&self) {
+        if let Some(conf) = &self.opts.checkpoint {
+            let _ = std::fs::remove_file(checkpoint_file(&conf.dir));
         }
     }
 
@@ -327,6 +711,12 @@ impl Search {
         let prune = self.opts.prune_siblings;
         let mut wave: Vec<NodeId> = pool.clone();
         while !wave.is_empty() {
+            // Relaxation waves can run long; honor wall-clock budgets and
+            // interruptions between waves (deterministic budget runs never
+            // trigger this — see `soft_stop`).
+            if self.soft_stop() {
+                return None;
+            }
             // Generate candidates (and their invariant fingerprints) in
             // parallel; the per-candidate work is pure. Canonical keys are
             // *not* computed here: the fold interns through the fingerprint
@@ -341,7 +731,8 @@ impl Search {
             // is restricted to ⊆-comparable edge rows (see
             // `relax_moves_pruned`).
             let max_labels = self.opts.max_labels;
-            let cands: Vec<Vec<(Vec<roundelim_core::label::Label>, Problem, u64)>> =
+            type CandList = Vec<(Vec<roundelim_core::label::Label>, Problem, u64)>;
+            let (cands, panics): (Vec<Option<CandList>>, usize) =
                 par_map(&sources, self.threads, |(_, p)| {
                     let moves: Vec<_> = match (direction, prune) {
                         (Direction::Lower, true) => {
@@ -371,8 +762,14 @@ impl Search {
                         .collect()
                 });
             // Fold into the cache sequentially, in item order.
+            self.stats.worker_panics += panics;
             let mut next_wave = Vec::new();
             for ((n, _), list) in sources.iter().zip(cands) {
+                // A captured worker panic loses this source's candidates;
+                // the closure continues with everyone else's.
+                let Some(list) = list else {
+                    continue;
+                };
                 for (map, result, fp) in list {
                     let edge = match direction {
                         Direction::Lower => Edge::Relax { map },
@@ -444,24 +841,28 @@ impl Search {
             }
         }
         let cap = self.intern_cap();
-        let computed: Vec<Option<(Problem, CacheKey)>> = par_map(&todo, self.threads, |(_, p)| {
-            // The process-wide memo makes repeated searches (sweeps, bench
-            // iterations) pay for each distinct speedup once.
-            let derived = full_step_cached(p).ok()?;
-            if derived.alphabet().len() > cap
-                || derived.node().is_empty()
-                || derived.edge().is_empty()
-            {
-                // Over-cap children cannot be canonicalized affordably; an
-                // empty constraint means the derived problem is unsolvable
-                // outright (and the text format cannot express it). Both
-                // end the path here.
-                return None;
-            }
-            let _sp = span(Stage::Canon);
-            let key = cache_key(&derived);
-            Some((derived, key))
-        });
+        // Inner Option: resource dead end. Outer (from par_map): panic.
+        type StepResult = Option<(Problem, CacheKey)>;
+        let (computed, panics): (Vec<Option<StepResult>>, usize) =
+            par_map(&todo, self.threads, |(_, p)| {
+                // The process-wide memo makes repeated searches (sweeps, bench
+                // iterations) pay for each distinct speedup once.
+                let derived = full_step_cached(p).ok()?;
+                if derived.alphabet().len() > cap
+                    || derived.node().is_empty()
+                    || derived.edge().is_empty()
+                {
+                    // Over-cap children cannot be canonicalized affordably; an
+                    // empty constraint means the derived problem is unsolvable
+                    // outright (and the text format cannot express it). Both
+                    // end the path here.
+                    return None;
+                }
+                let _sp = span(Stage::Canon);
+                let key = cache_key(&derived);
+                Some((derived, key))
+            });
+        self.stats.worker_panics += panics;
         let mut computed_iter = computed.into_iter();
         let mut frontier = Vec::new();
         let mut hit = None;
@@ -470,11 +871,13 @@ impl Search {
             let (child, new) = match memo {
                 Some(succ) => (succ, false),
                 None => {
+                    // Outer `None` is a captured worker panic, inner `None`
+                    // a resource dead end; both end the path here.
                     let Some((derived, key)) =
-                        computed_iter.next().expect("one result per todo item")
+                        computed_iter.next().expect("one result per todo item").flatten()
                     else {
                         self.stats.step_failures += 1;
-                        continue; // dead end: overflow or over-cap child
+                        continue; // dead end: overflow, over-cap child, or panic
                     };
                     let (succ, new) = self.cache.record_step(n, derived, key);
                     if new {
@@ -523,14 +926,20 @@ impl Search {
             model: self.opts.model,
             problems,
             edges,
+            incomplete: false,
             verdict: CertVerdict::Unbounded { cycle_start, iso_map },
         }
     }
 
-    fn outcome(&self, verdict: Verdict, certificate: Option<Certificate>) -> Outcome {
+    fn outcome(
+        &self,
+        verdict: Verdict,
+        certificate: Option<Certificate>,
+        stop: StopCause,
+    ) -> Outcome {
         let mut stats = self.stats;
         stats.cache = self.cache.stats;
-        Outcome { verdict, certificate, stats }
+        Outcome { verdict, certificate, stop, stats }
     }
 }
 
@@ -544,62 +953,95 @@ impl Search {
 /// rejects internally inconsistent certificates (a search bug, surfaced
 /// rather than silently mis-reported).
 pub fn autolb(p: &Problem, opts: &SearchOptions) -> Result<Outcome> {
-    let mut s = Search::new(opts);
-    let key = cache_key(p);
-    let (root, _) = s.intern(p.clone(), key, None, 0);
-    let mut goals: Vec<NodeId> = Vec::new(); // 0-round endpoints
-    if s.zero(root) {
+    let (mut s, mut st, fresh) = Search::init(p, opts, Direction::Lower)?;
+    let root = NodeId(0);
+    if fresh && s.zero(root) {
         let cert = Certificate {
             direction: Direction::Lower,
             model: opts.model,
             problems: vec![p.clone()],
             edges: vec![],
+            incomplete: false,
             verdict: CertVerdict::LowerBound { rounds: 0 },
         };
-        return finish(s.outcome(Verdict::LowerBound { rounds: 0 }, Some(cert)));
+        s.clear_checkpoint();
+        return finish(s.outcome(
+            Verdict::LowerBound { rounds: 0 },
+            Some(cert),
+            StopCause::Completed,
+        ));
     }
-    let mut frontier = vec![root];
-    let mut deepest: (usize, NodeId) = (0, root);
-    for depth in 0..opts.max_steps {
-        let mut pool = frontier.clone();
-        if opts.use_relaxations {
-            if let Some(hit) =
-                s.sideways_closure(&mut pool, depth, Direction::Lower, true, &mut goals)
-            {
-                let cert = s.unbounded_certificate(&hit);
-                return finish(s.outcome(Verdict::Unbounded, Some(cert)));
-            }
-        }
-        let beam = s.steppable_beam(&pool);
-        let (next, hit) = s.step_beam(&beam, depth, true, &mut goals);
-        s.stats.depth_reached = depth + 1;
-        if let Some(hit) = hit {
-            let cert = s.unbounded_certificate(&hit);
-            return finish(s.outcome(Verdict::Unbounded, Some(cert)));
-        }
-        if next.is_empty() {
+    let mut stop = StopCause::Completed;
+    while st.depth < opts.max_steps {
+        // Depth boundary: cache, metadata and loop state are consistent —
+        // the only place snapshots are taken and budgets can force a stop
+        // deterministically.
+        if let Some(cause) = s.stop_cause() {
+            stop = cause;
+            s.write_checkpoint(&st, Direction::Lower, p)?;
             break;
         }
-        deepest = (depth + 1, next[0]);
-        frontier = next;
+        s.maybe_checkpoint(&st, Direction::Lower, p)?;
+        let mut pool = st.frontier.clone();
+        if opts.use_relaxations {
+            if let Some(hit) =
+                s.sideways_closure(&mut pool, st.depth, Direction::Lower, true, &mut st.goals)
+            {
+                let cert = s.unbounded_certificate(&hit);
+                s.clear_checkpoint();
+                return finish(s.outcome(Verdict::Unbounded, Some(cert), StopCause::Completed));
+            }
+        }
+        if let Some(cause) = s.stop_cause() {
+            // Mid-depth stop (time budget/interruption during the closure):
+            // emit the partial verdict from what is already verified. No
+            // snapshot here — the cache has advanced past the boundary the
+            // loop state describes, so the last boundary snapshot stands.
+            stop = cause;
+            break;
+        }
+        let beam = s.steppable_beam(&pool);
+        let (next, hit) = s.step_beam(&beam, st.depth, true, &mut st.goals);
+        st.depth += 1;
+        s.stats.depth_reached = s.stats.depth_reached.max(st.depth);
+        if let Some(hit) = hit {
+            let cert = s.unbounded_certificate(&hit);
+            s.clear_checkpoint();
+            return finish(s.outcome(Verdict::Unbounded, Some(cert), StopCause::Completed));
+        }
+        if next.is_empty() {
+            st.frontier.clear();
+            break;
+        }
+        st.deepest = (st.depth, next[0]);
+        st.frontier = next;
     }
-    // Budget exhausted (or the graph closed without a path cycle): certify
-    // the best endpoint seen — a 0-round endpoint at maximal step depth,
-    // or the deepest non-0-round chain.
-    let best_goal = goals.iter().map(|&g| (s.meta[g.index()].depth, g)).max_by_key(|&(d, _)| d);
+    if stop == StopCause::Completed && !st.frontier.is_empty() {
+        // Ran out of configured depth with a live frontier.
+        stop = StopCause::DepthExhausted;
+        s.write_checkpoint(&st, Direction::Lower, p)?;
+    }
+    // Certify the best endpoint seen — a 0-round endpoint at maximal step
+    // depth, or the deepest non-0-round chain.
+    let best_goal = st.goals.iter().map(|&g| (s.meta[g.index()].depth, g)).max_by_key(|&(d, _)| d);
     let (rounds, endpoint) = match best_goal {
-        Some((d, g)) if d >= deepest.0 => (d, g),
-        _ => deepest,
+        Some((d, g)) if d >= st.deepest.0 => (d, g),
+        _ => st.deepest,
     };
+    let incomplete = stop != StopCause::Completed;
     let (problems, edges, _) = s.chain_to(endpoint);
     let cert = Certificate {
         direction: Direction::Lower,
         model: opts.model,
         problems,
         edges,
+        incomplete,
         verdict: CertVerdict::LowerBound { rounds },
     };
-    finish(s.outcome(Verdict::LowerBound { rounds }, Some(cert)))
+    if !incomplete {
+        s.clear_checkpoint();
+    }
+    finish(s.outcome(Verdict::LowerBound { rounds }, Some(cert), stop))
 }
 
 /// Searches for an upper-bound derivation for `p` (see module docs). The
@@ -610,33 +1052,46 @@ pub fn autolb(p: &Problem, opts: &SearchOptions) -> Result<Outcome> {
 ///
 /// Propagates engine errors; rejects internally inconsistent certificates.
 pub fn autoub(p: &Problem, opts: &SearchOptions) -> Result<Outcome> {
-    let mut s = Search::new(opts);
-    let key = cache_key(p);
-    let (root, _) = s.intern(p.clone(), key, None, 0);
-    let mut goals: Vec<NodeId> = Vec::new();
-    if s.zero(root) {
-        goals.push(root);
+    let (mut s, mut st, fresh) = Search::init(p, opts, Direction::Upper)?;
+    if fresh && s.zero(NodeId(0)) {
+        st.goals.push(NodeId(0));
     }
-    let mut frontier = vec![root];
-    let mut depth = 0;
-    while goals.is_empty() && depth < opts.max_steps && !frontier.is_empty() {
-        let mut pool = frontier.clone();
-        if opts.use_relaxations {
-            s.sideways_closure(&mut pool, depth, Direction::Upper, false, &mut goals);
+    let mut stop = StopCause::Completed;
+    while st.goals.is_empty() && st.depth < opts.max_steps && !st.frontier.is_empty() {
+        if let Some(cause) = s.stop_cause() {
+            stop = cause;
+            s.write_checkpoint(&st, Direction::Upper, p)?;
+            break;
         }
-        if !goals.is_empty() {
+        s.maybe_checkpoint(&st, Direction::Upper, p)?;
+        let mut pool = st.frontier.clone();
+        if opts.use_relaxations {
+            s.sideways_closure(&mut pool, st.depth, Direction::Upper, false, &mut st.goals);
+        }
+        if !st.goals.is_empty() {
             break; // a hardening reached a 0-round problem at this depth
         }
+        if let Some(cause) = s.stop_cause() {
+            stop = cause; // mid-depth stop: see the autolb twin for why no snapshot
+            break;
+        }
         let beam = s.steppable_beam(&pool);
-        let (next, _) = s.step_beam(&beam, depth, false, &mut goals);
-        depth += 1;
-        s.stats.depth_reached = depth;
-        frontier = next;
+        let (next, _) = s.step_beam(&beam, st.depth, false, &mut st.goals);
+        st.depth += 1;
+        s.stats.depth_reached = s.stats.depth_reached.max(st.depth);
+        st.frontier = next;
     }
     // The shallowest goal wins (BFS by step depth ⇒ the first recorded
     // goal is at the minimal step depth reached).
-    let Some(&goal) = goals.first() else {
-        return Ok(s.outcome(Verdict::Inconclusive, None));
+    let Some(&goal) = st.goals.first() else {
+        if stop == StopCause::Completed && !st.frontier.is_empty() && st.depth >= opts.max_steps {
+            stop = StopCause::DepthExhausted;
+            s.write_checkpoint(&st, Direction::Upper, p)?;
+        }
+        if stop == StopCause::Completed {
+            s.clear_checkpoint();
+        }
+        return Ok(s.outcome(Verdict::Inconclusive, None, stop));
     };
     let rounds = s.meta[goal.index()].depth;
     let (problems, edges, _) = s.chain_to(goal);
@@ -645,9 +1100,11 @@ pub fn autoub(p: &Problem, opts: &SearchOptions) -> Result<Outcome> {
         model: opts.model,
         problems,
         edges,
+        incomplete: false,
         verdict: CertVerdict::UpperBound { rounds },
     };
-    finish(s.outcome(Verdict::UpperBound { rounds }, Some(cert)))
+    s.clear_checkpoint();
+    finish(s.outcome(Verdict::UpperBound { rounds }, Some(cert), StopCause::Completed))
 }
 
 /// Replays the outcome's certificate before handing it to the caller: the
@@ -667,6 +1124,105 @@ mod tests {
 
     fn so3() -> Problem {
         Problem::parse("name: so\nnode: O O O | O O I | O I I\nedge: O I").unwrap()
+    }
+
+    /// A fresh checkpoint directory unique to this test.
+    fn ckpt_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("roundelim-search-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn zero_expansion_budget_yields_a_verified_incomplete_result() {
+        let opts =
+            SearchOptions { max_expansions: Some(0), threads: 1, ..SearchOptions::default() };
+        let out = autolb(&so3(), &opts).unwrap();
+        assert_eq!(out.stop, StopCause::ExpansionBudget);
+        assert!(out.stop.is_forced());
+        assert_eq!(out.verdict, Verdict::LowerBound { rounds: 0 });
+        let cert = out.certificate.unwrap();
+        assert!(cert.incomplete);
+        cert.verify().unwrap();
+    }
+
+    #[test]
+    fn budget_cut_then_resume_matches_the_uninterrupted_run_exactly() {
+        for threads in [1, 4] {
+            let opts = SearchOptions { threads, ..SearchOptions::default() };
+            let reference = autolb(&so3(), &opts).unwrap();
+            assert_eq!(reference.verdict, Verdict::Unbounded);
+            assert_eq!(reference.stop, StopCause::Completed);
+
+            let dir = ckpt_dir(&format!("resume-t{threads}"));
+            let cut = SearchOptions {
+                max_expansions: Some(1),
+                checkpoint: Some(CheckpointConf::new(&dir)),
+                ..opts.clone()
+            };
+            let partial = autolb(&so3(), &cut).unwrap();
+            assert_eq!(partial.stop, StopCause::ExpansionBudget);
+            assert!(partial.certificate.unwrap().incomplete);
+            assert!(checkpoint_file(&dir).exists(), "forced stop must leave a snapshot");
+
+            let resume = SearchOptions {
+                checkpoint: Some(CheckpointConf { resume: true, ..CheckpointConf::new(&dir) }),
+                ..opts.clone()
+            };
+            let resumed = autolb(&so3(), &resume).unwrap();
+            assert_eq!(resumed.verdict, reference.verdict, "threads={threads}");
+            assert_eq!(resumed.certificate, reference.certificate, "threads={threads}");
+            assert_eq!(resumed.stats, reference.stats, "threads={threads}");
+            assert!(!checkpoint_file(&dir).exists(), "completed search must clear its snapshot");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn resume_with_missing_snapshot_starts_fresh() {
+        let dir = ckpt_dir("fresh");
+        let opts = SearchOptions {
+            threads: 1,
+            checkpoint: Some(CheckpointConf { resume: true, ..CheckpointConf::new(&dir) }),
+            ..SearchOptions::default()
+        };
+        let out = autolb(&so3(), &opts).unwrap();
+        assert_eq!(out.verdict, Verdict::Unbounded);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_options_problem_and_direction() {
+        let dir = ckpt_dir("mismatch");
+        let cut = SearchOptions {
+            threads: 1,
+            max_expansions: Some(1),
+            checkpoint: Some(CheckpointConf::new(&dir)),
+            ..SearchOptions::default()
+        };
+        autolb(&so3(), &cut).unwrap();
+        assert!(checkpoint_file(&dir).exists());
+        let resume_conf = Some(CheckpointConf { resume: true, ..CheckpointConf::new(&dir) });
+        // Changed beam width: incompatible.
+        let bad_beam = SearchOptions {
+            beam_width: 3,
+            checkpoint: resume_conf.clone(),
+            ..SearchOptions::default()
+        };
+        assert!(autolb(&so3(), &bad_beam).is_err());
+        // Different input problem: incompatible.
+        let ok_opts = SearchOptions { checkpoint: resume_conf.clone(), ..SearchOptions::default() };
+        let other = Problem::parse("name: sc\nnode: 1 0 0\nedge: 0 0 | 0 1").unwrap();
+        assert!(autolb(&other, &ok_opts).is_err());
+        // Wrong direction: incompatible.
+        assert!(autoub(&so3(), &ok_opts).is_err());
+        // Deeper step/expansion budgets are compatible by design.
+        let deeper =
+            SearchOptions { max_steps: 20, checkpoint: resume_conf, ..SearchOptions::default() };
+        assert_eq!(autolb(&so3(), &deeper).unwrap().verdict, Verdict::Unbounded);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -129,6 +129,6 @@ fn main() {
     }
 
     let path = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_speedup.json".to_owned());
-    std::fs::write(&path, to_json(&results)).expect("write BENCH_speedup.json");
+    roundelim_core::io::atomic_write(&path, to_json(&results)).expect("write BENCH_speedup.json");
     println!("wrote {path} ({} cases)", results.len());
 }

@@ -66,6 +66,16 @@ pub enum Error {
         /// The limit that was hit.
         limit: usize,
     },
+    /// A filesystem operation failed (see [`crate::io::atomic_write`]).
+    ///
+    /// The underlying [`std::io::Error`] is flattened to a string so the
+    /// error type stays `Clone + PartialEq`.
+    Io {
+        /// The path involved.
+        path: String,
+        /// What failed, including the OS error text.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -88,6 +98,7 @@ impl fmt::Display for Error {
             Error::LimitExhausted { what, limit } => {
                 write!(f, "limit of {limit} exhausted while searching for {what}")
             }
+            Error::Io { path, reason } => write!(f, "i/o error on `{path}`: {reason}"),
         }
     }
 }
@@ -110,6 +121,7 @@ mod tests {
             Error::Parse { line: 3, reason: "r".into() },
             Error::Unsupported { reason: "r".into() },
             Error::LimitExhausted { what: "fixed point".into(), limit: 5 },
+            Error::Io { path: "/x".into(), reason: "r".into() },
         ];
         for e in errs {
             let s = e.to_string();

@@ -1,0 +1,120 @@
+//! Crash-safe file output.
+//!
+//! Every artifact the workspace writes — certificates, `BENCH_speedup.json`,
+//! `SIM_crossval.json`, search checkpoints — goes through [`atomic_write`]:
+//! the contents land in a temporary file in the destination directory, are
+//! flushed to disk, and only then renamed over the target. A crash (power
+//! loss, OOM-kill, CI timeout) at any point leaves either the previous file
+//! or the new one, never a truncated hybrid, so downstream byte-diffs and
+//! replays always see a complete document.
+
+use crate::error::{Error, Result};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process sequence number making concurrent [`atomic_write`] calls to
+/// the same destination use distinct temporary names.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn io_err(path: &Path, what: &str, e: &std::io::Error) -> Error {
+    Error::Io { path: path.display().to_string(), reason: format!("{what}: {e}") }
+}
+
+/// Writes `contents` to `path` atomically: temp file in the same directory,
+/// `fsync`, then rename. The destination directory is created if missing.
+/// On any failure the temporary file is removed (best effort) and the
+/// destination is untouched.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] describing the failing operation.
+pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> Result<()> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::create_dir_all(dir).map_err(|e| io_err(path, "create parent directory", &e))?;
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| Error::Io {
+            path: path.display().to_string(),
+            reason: "path has no file name".to_owned(),
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write_all = || -> std::result::Result<(), (&'static str, std::io::Error)> {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| ("create temp file", e))?;
+        f.write_all(contents.as_ref()).map_err(|e| ("write temp file", e))?;
+        // Flush file contents before the rename publishes them: a rename of
+        // an unsynced file can surface as a truncated document after a
+        // crash, which is exactly what this helper exists to rule out.
+        f.sync_all().map_err(|e| ("sync temp file", e))?;
+        Ok(())
+    };
+    if let Err((what, e)) = write_all() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io_err(path, what, &e));
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io_err(path, "rename temp file into place", &e));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("roundelim-io-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let path = tmp_dir("basic").join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let path = tmp_dir("mkdir").join("a/b/out.txt");
+        atomic_write(&path, b"x").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"x");
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = tmp_dir("clean");
+        let path = dir.join("out.txt");
+        atomic_write(&path, b"payload").unwrap();
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+    }
+
+    #[test]
+    fn rejects_directory_target() {
+        let dir = tmp_dir("dirtarget");
+        // Writing over an existing directory must fail with Error::Io and
+        // leave the directory in place.
+        let err = atomic_write(&dir, b"x").unwrap_err();
+        assert!(matches!(err, Error::Io { .. }), "{err:?}");
+        assert!(dir.is_dir());
+    }
+}

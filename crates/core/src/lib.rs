@@ -45,6 +45,7 @@ pub mod config;
 pub mod constraint;
 pub mod error;
 pub mod fmt;
+pub mod io;
 pub mod iso;
 pub mod label;
 pub mod labelset;

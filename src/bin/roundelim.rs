@@ -11,6 +11,8 @@
 //!                                        relaxing to templates when given
 //! roundelim autolb <file|family:k:Δ> [--steps N] [--beam N] [--max-labels N]
 //!                  [--threads N] [--no-relax] [--cert FILE] [--json] [--profile]
+//!                  [--time-budget SECS] [--max-expansions N]
+//!                  [--checkpoint DIR] [--checkpoint-every N] [--resume]
 //!                                        automated lower-bound search
 //! roundelim autolb --sweep [--json]      autolb over the registry sweep set
 //! roundelim autoub <file|family:k:Δ> [same flags as autolb]
@@ -31,11 +33,26 @@
 //! `family:k:Δ` shorthand instantiates a zoo family, e.g.
 //! `coloring:3:2` or `sinkless-orientation::4` (empty k for families that
 //! ignore it).
+//!
+//! ## Exit codes
+//!
+//! | code | meaning                                                        |
+//! |------|----------------------------------------------------------------|
+//! | 0    | success: verdict proved (or search exhausted its depth budget) |
+//! | 1    | runtime error (I/O, search failure, inconsistent cross-check)  |
+//! | 2    | usage error or invalid input                                   |
+//! | 3    | search stopped early (time/expansion budget, SIGTERM) or the   |
+//! |      | verdict is inconclusive; any emitted certificate is verified   |
+//! |      | but marked `incomplete`                                        |
+//! | 4    | certificate verification failure (`cert verify`)               |
 
 use roundelim::auto::json::Json;
-use roundelim::auto::search::{autolb, autoub, Outcome, SearchOptions, Verdict};
+use roundelim::auto::search::{
+    autolb, autoub, CheckpointConf, Outcome, SearchOptions, StopCause, Verdict,
+};
 use roundelim::auto::Certificate;
 use roundelim::core::fmt::{problem_table, sequence_report, step_report};
+use roundelim::core::io::atomic_write;
 use roundelim::core::iso::isomorphism;
 use roundelim::core::problem::Problem;
 use roundelim::core::relax::relaxation_map;
@@ -44,24 +61,92 @@ use roundelim::core::speedup::full_step;
 use roundelim::core::zero_round::{zero_round_oriented, zero_round_pn};
 use roundelim::problems::registry::{families, family, sweep_specs};
 use std::process::ExitCode;
+use std::time::Duration;
 
-fn load(spec: &str) -> Result<Problem, String> {
+/// A diagnosed failure carrying its exit code (see the table in the module
+/// docs). `From<String>` gives the generic runtime code 1; `From<&str>` is
+/// reserved for missing-argument messages and maps to the usage code 2.
+struct CliError {
+    code: u8,
+    msg: String,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError { code: 1, msg }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        usage_err(msg)
+    }
+}
+
+/// An invalid-input / bad-flag diagnostic (exit code 2).
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError { code: 2, msg: msg.into() }
+}
+
+type CliResult = Result<ExitCode, CliError>;
+
+/// SIGTERM → cooperative cancellation: the handler flips an atomic flag the
+/// search polls, so a terminated `autolb`/`autoub` stops at the next poll
+/// point with its last boundary checkpoint intact and exit code 3.
+///
+/// The raw `signal(2)` declaration avoids a libc dependency; the handler
+/// only does an atomic store, which is async-signal-safe.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static FIRED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handler(_signum: i32) {
+        FIRED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn fired() -> bool {
+        FIRED.load(Ordering::SeqCst)
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    pub fn fired() -> bool {
+        false
+    }
+
+    pub fn install() {}
+}
+
+fn load(spec: &str) -> Result<Problem, CliError> {
     if let Ok(text) = std::fs::read_to_string(spec) {
-        return Problem::parse(&text).map_err(|e| format!("{spec}: {e}"));
+        return Problem::parse(&text).map_err(|e| usage_err(format!("{spec}: {e}")));
     }
     // family:k:Δ shorthand
     let parts: Vec<&str> = spec.split(':').collect();
     if parts.len() == 3 {
-        let f = family(parts[0]).map_err(|e| e.to_string())?;
+        let f = family(parts[0]).map_err(|e| usage_err(e.to_string()))?;
         let k: usize = if parts[1].is_empty() {
             0
         } else {
-            parts[1].parse().map_err(|_| format!("bad k `{}`", parts[1]))?
+            parts[1].parse().map_err(|_| usage_err(format!("bad k `{}`", parts[1])))?
         };
-        let d: usize = parts[2].parse().map_err(|_| format!("bad Δ `{}`", parts[2]))?;
-        return f.instantiate(k, d).map_err(|e| e.to_string());
+        let d: usize = parts[2].parse().map_err(|_| usage_err(format!("bad Δ `{}`", parts[2])))?;
+        return f.instantiate(k, d).map_err(|e| usage_err(e.to_string()));
     }
-    Err(format!("`{spec}` is neither a readable file nor a family:k:Δ spec"))
+    Err(usage_err(format!("`{spec}` is neither a readable file nor a family:k:Δ spec")))
 }
 
 fn usage() -> ExitCode {
@@ -70,7 +155,9 @@ fn usage() -> ExitCode {
          roundelim speedup <file|family:k:Δ> [--json] [--profile]\n  \
          roundelim iterate <file|family:k:Δ> [--steps N] [--relax FILE]... [--json]\n  \
          roundelim autolb <file|family:k:Δ|--sweep> [--steps N] [--beam N] \
-         [--max-labels N] [--threads N] [--no-relax] [--cert FILE] [--json] [--profile]\n  \
+         [--max-labels N] [--threads N] [--no-relax] [--cert FILE] [--json] [--profile] \
+         [--time-budget SECS] [--max-expansions N] [--checkpoint DIR] \
+         [--checkpoint-every N] [--resume]\n  \
          roundelim autoub <file|family:k:Δ> [autolb flags]\n  \
          roundelim cert verify <file> [--fast] [--json]\n  \
          roundelim sim-vs-bound [--n N] [--seed S] [--threads N] [--family NAME] \
@@ -81,26 +168,26 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-/// The value following `--flag`, parsed.
-fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+/// The value following `--flag`, parsed. Parse failures are usage errors.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, CliError> {
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(ix) => args
             .get(ix + 1)
-            .ok_or_else(|| format!("{flag} needs a value"))?
+            .ok_or_else(|| usage_err(format!("{flag} needs a value")))?
             .parse()
             .map(Some)
-            .map_err(|_| format!("{flag} needs a valid value")),
+            .map_err(|_| usage_err(format!("{flag} needs a valid value"))),
     }
 }
 
 /// All values of a repeatable `--flag VALUE` pair.
-fn flag_values<'a>(args: &'a [String], flag: &str) -> Result<Vec<&'a String>, String> {
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Result<Vec<&'a String>, CliError> {
     let mut out = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(a) = iter.next() {
         if a == flag {
-            out.push(iter.next().ok_or_else(|| format!("{flag} needs a value"))?);
+            out.push(iter.next().ok_or_else(|| usage_err(format!("{flag} needs a value")))?);
         }
     }
     Ok(out)
@@ -144,34 +231,34 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }
 
-fn cmd_zoo() -> Result<(), String> {
+fn cmd_zoo() -> CliResult {
     println!("{:<22} {:<8} description", "family", "uses k");
     for f in families() {
         println!("{:<22} {:<8} {}", f.name, f.uses_k, f.description);
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_show(args: &[String]) -> Result<(), String> {
+fn cmd_show(args: &[String]) -> CliResult {
     let name = args.first().ok_or("show: missing family name")?;
-    let f = family(name).map_err(|e| e.to_string())?;
-    let k = args.get(1).map_or(Ok(3), |s| s.parse().map_err(|_| "bad k".to_string()))?;
-    let d = args.get(2).map_or(Ok(3), |s| s.parse().map_err(|_| "bad Δ".to_string()))?;
-    let p = f.instantiate(k, d).map_err(|e| e.to_string())?;
+    let f = family(name).map_err(|e| usage_err(e.to_string()))?;
+    let k = args.get(1).map_or(Ok(3), |s| s.parse().map_err(|_| usage_err("bad k")))?;
+    let d = args.get(2).map_or(Ok(3), |s| s.parse().map_err(|_| usage_err("bad Δ")))?;
+    let p = f.instantiate(k, d).map_err(|e| usage_err(e.to_string()))?;
     print!("{}", problem_table(&p));
     println!("\n# text format (machine readable):\n{}", p.to_text());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_speedup(args: &[String]) -> Result<(), String> {
+fn cmd_speedup(args: &[String]) -> CliResult {
     let spec = args.first().ok_or("speedup: missing problem spec")?;
     let p = load(spec)?;
     let step = full_step(&p).map_err(|e| e.to_string())?;
@@ -188,7 +275,7 @@ fn cmd_speedup(args: &[String]) -> Result<(), String> {
     } else {
         print!("{}", step_report(&p, &step));
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn stop_reason_json(stop: &StopReason) -> Json {
@@ -210,7 +297,7 @@ fn bound_json(bound: Option<usize>) -> Json {
     bound.map_or(Json::Null, |b| Json::Num(b as u64))
 }
 
-fn cmd_iterate(args: &[String]) -> Result<(), String> {
+fn cmd_iterate(args: &[String]) -> CliResult {
     let spec = args.first().ok_or("iterate: missing problem spec")?;
     let p = load(spec)?;
     let steps = flag_value::<usize>(args, "--steps")?.unwrap_or(8);
@@ -232,7 +319,7 @@ fn cmd_iterate(args: &[String]) -> Result<(), String> {
         } else {
             print!("{}", sequence_report(&seq));
         }
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     // §2.1's relax-then-speedup alternation, with the supplied templates.
     let seq = iterate_relaxed(&p, &templates, steps, ZeroRoundModel::Oriented)
@@ -281,7 +368,7 @@ fn cmd_iterate(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn verdict_json(v: &Verdict) -> Json {
@@ -299,10 +386,31 @@ fn verdict_json(v: &Verdict) -> Json {
     }
 }
 
+/// Whether the outcome is a partial result: its certificate (when present)
+/// carries the `incomplete` marker, or the search stopped before its
+/// natural end without producing one.
+fn outcome_incomplete(out: &Outcome) -> bool {
+    out.certificate.as_ref().map_or(out.stop != StopCause::Completed, |c| c.incomplete)
+}
+
+/// Exit code for an autolb/autoub outcome: 3 when the search was cut short
+/// by a budget or a signal, or the verdict is inconclusive; else 0. A
+/// depth-exhausted stop keeps code 0 — the requested `--steps` budget was
+/// honoured in full.
+fn outcome_code(out: &Outcome) -> u8 {
+    if matches!(out.verdict, Verdict::Inconclusive) || out.stop.is_forced() {
+        3
+    } else {
+        0
+    }
+}
+
 fn outcome_json(name: &str, out: &Outcome) -> Json {
     Json::obj([
         ("problem", Json::Str(name.to_owned())),
         ("verdict", verdict_json(&out.verdict)),
+        ("stop", Json::Str(out.stop.as_str().to_owned())),
+        ("incomplete", Json::Bool(outcome_incomplete(out))),
         ("certificate", out.certificate.as_ref().map_or(Json::Null, Certificate::json_value)),
         (
             "stats",
@@ -310,6 +418,7 @@ fn outcome_json(name: &str, out: &Outcome) -> Json {
                 ("expanded", Json::Num(out.stats.expanded as u64)),
                 ("step_failures", Json::Num(out.stats.step_failures as u64)),
                 ("depth_reached", Json::Num(out.stats.depth_reached as u64)),
+                ("worker_panics", Json::Num(out.stats.worker_panics as u64)),
                 ("classes", Json::Num(out.stats.cache.classes as u64)),
                 ("dedup_hits", Json::Num(out.stats.cache.dedup_hits as u64)),
                 ("step_hits", Json::Num(out.stats.cache.step_hits as u64)),
@@ -339,6 +448,18 @@ fn describe_outcome(name: &str, out: &Outcome) -> String {
             s.push_str(&format!("    Π_{i} → Π_{}: {kind}\n", i + 1));
         }
     }
+    if out.stop.is_forced() {
+        s.push_str(&format!(
+            "  stopped early ({}): the bound is verified but a deeper search may improve it\n",
+            out.stop.as_str()
+        ));
+    }
+    if out.stats.worker_panics > 0 {
+        s.push_str(&format!(
+            "  {} worker panic(s) captured; the affected branches were dropped\n",
+            out.stats.worker_panics
+        ));
+    }
     s.push_str(&format!(
         "  search: {} classes, {} expansions, {} dead ends, depth {}\n",
         out.stats.cache.classes,
@@ -349,15 +470,21 @@ fn describe_outcome(name: &str, out: &Outcome) -> String {
     s
 }
 
-fn search_options(args: &[String]) -> Result<SearchOptions, String> {
+fn search_options(args: &[String]) -> Result<SearchOptions, CliError> {
     let mut opts = SearchOptions::default();
     if let Some(v) = flag_value(args, "--steps")? {
         opts.max_steps = v;
     }
     if let Some(v) = flag_value(args, "--beam")? {
+        if v == 0 {
+            return Err(usage_err("--beam must be at least 1"));
+        }
         opts.beam_width = v;
     }
     if let Some(v) = flag_value(args, "--max-labels")? {
+        if v == 0 {
+            return Err(usage_err("--max-labels must be at least 1"));
+        }
         opts.max_labels = v;
     }
     if let Some(v) = flag_value(args, "--threads")? {
@@ -366,31 +493,66 @@ fn search_options(args: &[String]) -> Result<SearchOptions, String> {
     if has_flag(args, "--no-relax") {
         opts.use_relaxations = false;
     }
+    if let Some(secs) = flag_value::<u64>(args, "--time-budget")? {
+        opts.time_budget = Some(Duration::from_secs(secs));
+    }
+    if let Some(v) = flag_value(args, "--max-expansions")? {
+        opts.max_expansions = Some(v);
+    }
+    if let Some(dir) = flag_value::<String>(args, "--checkpoint")? {
+        let mut conf = CheckpointConf::new(dir);
+        if let Some(n) = flag_value(args, "--checkpoint-every")? {
+            if n == 0 {
+                return Err(usage_err("--checkpoint-every must be at least 1"));
+            }
+            conf.every_expansions = n;
+        }
+        conf.resume = has_flag(args, "--resume");
+        opts.checkpoint = Some(conf);
+    } else {
+        if has_flag(args, "--resume") {
+            return Err(usage_err("--resume needs --checkpoint DIR (nowhere to resume from)"));
+        }
+        if has_flag(args, "--checkpoint-every") {
+            return Err(usage_err("--checkpoint-every needs --checkpoint DIR"));
+        }
+    }
     Ok(opts)
 }
 
-fn cmd_auto(args: &[String], lower: bool) -> Result<(), String> {
-    let opts = search_options(args)?;
+fn cmd_auto(args: &[String], lower: bool) -> CliResult {
+    let mut opts = search_options(args)?;
+    sigterm::install();
+    opts.cancel = Some(sigterm::fired);
     let json = has_flag(args, "--json");
-    let run = |p: &Problem| -> Result<Outcome, String> {
+    let run = |p: &Problem| -> Result<Outcome, CliError> {
         let r = if lower { autolb(p, &opts) } else { autoub(p, &opts) };
-        r.map_err(|e| e.to_string())
+        r.map_err(|e| CliError::from(e.to_string()))
     };
     if has_flag(args, "--sweep") {
         if !lower {
-            return Err("autoub: --sweep is only available for autolb".to_owned());
+            return Err(usage_err("autoub: --sweep is only available for autolb"));
         }
         if has_flag(args, "--cert") {
-            return Err("--cert writes one certificate and --sweep produces many; run the \
-                 families individually to export certificates"
-                .to_owned());
+            return Err(usage_err(
+                "--cert writes one certificate and --sweep produces many; run the \
+                 families individually to export certificates",
+            ));
+        }
+        if opts.checkpoint.is_some() {
+            return Err(usage_err(
+                "--checkpoint stores one search and --sweep runs many; run the \
+                 families individually to checkpoint them",
+            ));
         }
         let mut docs = Vec::new();
+        let mut code = 0u8;
         for s in sweep_specs() {
-            let f = family(s.family).map_err(|e| e.to_string())?;
-            let p = f.instantiate(s.k, s.delta).map_err(|e| e.to_string())?;
+            let f = family(s.family).map_err(|e| usage_err(e.to_string()))?;
+            let p = f.instantiate(s.k, s.delta).map_err(|e| usage_err(e.to_string()))?;
             let name = format!("{}:{}:{}", s.family, s.k, s.delta);
             let out = run(&p)?;
+            code = code.max(outcome_code(&out));
             if json {
                 docs.push(outcome_json(&name, &out));
             } else {
@@ -400,7 +562,7 @@ fn cmd_auto(args: &[String], lower: bool) -> Result<(), String> {
         if json {
             print!("{}", Json::Arr(docs).to_string_pretty());
         }
-        return Ok(());
+        return Ok(ExitCode::from(code));
     }
     let spec =
         args.iter().find(|a| !a.starts_with("--") && !is_flag_value(args, a)).ok_or(if lower {
@@ -411,9 +573,11 @@ fn cmd_auto(args: &[String], lower: bool) -> Result<(), String> {
     let p = load(spec)?;
     let out = run(&p)?;
     if let Some(path) = flag_values(args, "--cert")?.first() {
-        let cert =
-            out.certificate.as_ref().ok_or("no certificate to write (verdict is inconclusive)")?;
-        std::fs::write(path, cert.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        let cert = out.certificate.as_ref().ok_or_else(|| CliError {
+            code: 3,
+            msg: "no certificate to write (verdict is inconclusive)".to_owned(),
+        })?;
+        atomic_write(path, cert.to_json()).map_err(|e| e.to_string())?;
         if !json {
             println!("wrote certificate to {path}");
         }
@@ -423,29 +587,39 @@ fn cmd_auto(args: &[String], lower: bool) -> Result<(), String> {
     } else {
         print!("{}", describe_outcome(p.name(), &out));
     }
-    Ok(())
+    Ok(ExitCode::from(outcome_code(&out)))
 }
 
 /// Whether `arg` is the value of some `--flag VALUE` pair (so positional
 /// scanning skips it).
 fn is_flag_value(args: &[String], arg: &String) -> bool {
-    const VALUED: [&str; 5] = ["--steps", "--beam", "--max-labels", "--threads", "--cert"];
+    const VALUED: [&str; 9] = [
+        "--steps",
+        "--beam",
+        "--max-labels",
+        "--threads",
+        "--cert",
+        "--time-budget",
+        "--max-expansions",
+        "--checkpoint",
+        "--checkpoint-every",
+    ];
     args.iter()
         .zip(args.iter().skip(1))
         .any(|(f, v)| VALUED.contains(&f.as_str()) && std::ptr::eq(v, arg))
 }
 
-fn cmd_cert(args: &[String]) -> Result<(), String> {
+fn cmd_cert(args: &[String]) -> CliResult {
     let sub = args.first().map(String::as_str);
     if sub != Some("verify") {
-        return Err("cert: the only subcommand is `cert verify <file>`".to_owned());
+        return Err(usage_err("cert: the only subcommand is `cert verify <file>`"));
     }
     let path = args[1..]
         .iter()
         .find(|a| !a.starts_with("--"))
         .ok_or("cert verify: missing certificate file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let cert = Certificate::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| usage_err(format!("{path}: {e}")))?;
+    let cert = Certificate::from_json(&text).map_err(|e| usage_err(format!("{path}: {e}")))?;
     let fast = has_flag(args, "--fast");
     let result = if fast { cert.verify_fast() } else { cert.verify() };
     let mode = if fast { "witness checks green (--fast)" } else { "replayed green" };
@@ -463,10 +637,11 @@ fn cmd_cert(args: &[String]) -> Result<(), String> {
             Err(e) => println!("INVALID: {e}"),
         }
     }
-    result.map_err(|e| e.to_string())
+    result.map_err(|e| CliError { code: 4, msg: e.to_string() })?;
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_sim_vs_bound(args: &[String]) -> Result<(), String> {
+fn cmd_sim_vs_bound(args: &[String]) -> CliResult {
     use roundelim::sim::crossval::{run_crossval, Bound, CrossvalOptions};
     let mut opts = CrossvalOptions::default();
     if let Some(n) = flag_value(args, "--n")? {
@@ -490,9 +665,9 @@ fn cmd_sim_vs_bound(args: &[String]) -> Result<(), String> {
     opts.family_filter = flag_value::<String>(args, "--family")?;
     let out_path =
         flag_value::<String>(args, "--out")?.unwrap_or_else(|| "SIM_crossval.json".to_owned());
-    let report = run_crossval(&opts)?;
+    let report = run_crossval(&opts).map_err(CliError::from)?;
     let doc = report.json().to_string_pretty();
-    std::fs::write(&out_path, &doc).map_err(|e| format!("{out_path}: {e}"))?;
+    atomic_write(&out_path, &doc).map_err(|e| e.to_string())?;
     let bound = |b: &Bound| match b {
         Bound::Rounds(r) => r.to_string(),
         Bound::Unbounded => "unbounded".to_owned(),
@@ -527,13 +702,15 @@ fn cmd_sim_vs_bound(args: &[String]) -> Result<(), String> {
         println!("wrote {out_path}");
     }
     if report.all_consistent() {
-        Ok(())
+        Ok(ExitCode::SUCCESS)
     } else {
-        Err("sim-vs-bound: at least one case is inconsistent (see report)".to_owned())
+        Err(CliError::from(
+            "sim-vs-bound: at least one case is inconsistent (see report)".to_owned(),
+        ))
     }
 }
 
-fn cmd_zero_round(args: &[String]) -> Result<(), String> {
+fn cmd_zero_round(args: &[String]) -> CliResult {
     let spec = args.first().ok_or("zero-round: missing problem spec")?;
     let p = load(spec)?;
     match zero_round_pn(&p) {
@@ -554,10 +731,10 @@ fn cmd_zero_round(args: &[String]) -> Result<(), String> {
         }
         None => println!("oriented:  not 0-round solvable"),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_iso(args: &[String]) -> Result<(), String> {
+fn cmd_iso(args: &[String]) -> CliResult {
     let (a, b) = two_problems(args, "iso")?;
     match isomorphism(&a, &b) {
         Some(m) => {
@@ -568,10 +745,10 @@ fn cmd_iso(args: &[String]) -> Result<(), String> {
         }
         None => println!("not isomorphic"),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_relax(args: &[String]) -> Result<(), String> {
+fn cmd_relax(args: &[String]) -> CliResult {
     let (a, b) = two_problems(args, "relax")?;
     match relaxation_map(&a, &b) {
         Some(m) => {
@@ -582,11 +759,11 @@ fn cmd_relax(args: &[String]) -> Result<(), String> {
         }
         None => println!("no label-map relaxation witness found"),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn two_problems(args: &[String], cmd: &str) -> Result<(Problem, Problem), String> {
-    let a = args.first().ok_or_else(|| format!("{cmd}: missing first problem"))?;
-    let b = args.get(1).ok_or_else(|| format!("{cmd}: missing second problem"))?;
+fn two_problems(args: &[String], cmd: &str) -> Result<(Problem, Problem), CliError> {
+    let a = args.first().ok_or_else(|| usage_err(format!("{cmd}: missing first problem")))?;
+    let b = args.get(1).ok_or_else(|| usage_err(format!("{cmd}: missing second problem")))?;
     Ok((load(a)?, load(b)?))
 }

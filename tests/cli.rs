@@ -189,6 +189,70 @@ fn fast_verify_accepts_valid_and_rejects_corrupted_certificates() {
 }
 
 #[test]
+fn exit_codes_follow_the_documented_contract() {
+    // 0: a proved verdict (including one that merely exhausted --steps).
+    let out = cli().args(["autolb", "sinkless-orientation::3"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // 2: usage errors and invalid input, diagnosed before any search runs.
+    let usage_cases: &[&[&str]] = &[
+        &["speedup", "no-such-family:9:9"],
+        &["autolb", "coloring:3:3", "--beam", "0"],
+        &["autolb", "coloring:3:3", "--max-labels", "0"],
+        &["autolb", "coloring:3:3", "--steps", "banana"],
+        &["autolb", "coloring:3:3", "--resume"],
+        &["autolb", "coloring:3:3", "--checkpoint-every", "2"],
+        &["autolb", "coloring:3:3", "--checkpoint", "/tmp/x", "--checkpoint-every", "0"],
+        &["cert", "verify", "/definitely/not/a/file.json"],
+        &["autolb"],
+    ];
+    for args in usage_cases {
+        let out = cli().args(*args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "expected usage exit for {args:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("error"), "{args:?}");
+    }
+
+    // 3: a budget-exhausted search emits a verified partial certificate
+    // marked incomplete, and says so machine-readably.
+    let cert = tmp_dir().join("partial.cert.json");
+    let out = cli()
+        .args([
+            "autolb",
+            "coloring:3:3",
+            "--steps",
+            "4",
+            "--beam",
+            "4",
+            "--max-labels",
+            "8",
+            "--max-expansions",
+            "0",
+            "--cert",
+            cert.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"stop\": \"expansion-budget\""), "{stdout}");
+    assert!(stdout.contains("\"incomplete\": true"), "{stdout}");
+    let text = std::fs::read_to_string(&cert).unwrap();
+    assert!(text.contains("\"incomplete\": true"), "{text}");
+    let out = cli().args(["cert", "verify", cert.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "a partial certificate must verify");
+
+    // 4: a partial certificate over-claiming its bound is rejected with
+    // the verification-failure code — incomplete does not relax the rule.
+    let tampered = text.replace("\"rounds\": 0", "\"rounds\": 9");
+    assert_ne!(text, tampered, "fixture must actually change the certificate");
+    std::fs::write(&cert, tampered).unwrap();
+    let out = cli().args(["cert", "verify", cert.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(4), "over-claimed bound must fail verification");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INVALID"));
+}
+
+#[test]
 fn sim_vs_bound_writes_consistent_report() {
     let out_file = tmp_dir().join("SIM_crossval.json");
     let stdout = run_ok(&[

@@ -1,0 +1,254 @@
+//! Crash-recovery end-to-end tests of the `roundelim` CLI: a search killed
+//! mid-flight (deterministically via a failpoint, or for real via SIGKILL /
+//! SIGTERM) must resume from its checkpoint and finish with a certificate
+//! **byte-identical** to the one an uninterrupted run produces.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_roundelim"))
+}
+
+/// A fresh per-test scratch directory (unique per process so parallel
+/// suite runs cannot tamper with each other's fixtures).
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("roundelim-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ckpt_file(dir: &Path) -> PathBuf {
+    dir.join("search.ckpt.json")
+}
+
+/// Polls until `path` exists or the deadline passes.
+fn wait_for(path: &Path, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if path.exists() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
+
+/// Waits for the child with a deadline, SIGKILLing it on timeout so a
+/// regression can never hang the suite.
+fn wait_with_deadline(child: &mut Child, timeout: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            child.kill().unwrap();
+            let status = child.wait().unwrap();
+            panic!("child did not exit within {timeout:?} (killed, status {status})");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The two zoo problems the recovery tests run end to end: one that leans
+/// on searched relaxations (maximal matching) and one plain speedup tower
+/// (3-coloring). Both finish in well under a second, so the full
+/// kill/resume matrix stays cheap.
+const CASES: [(&str, &[&str]); 2] = [
+    ("maximal-matching::3", &["--steps", "6", "--beam", "6", "--max-labels", "10"]),
+    ("coloring:3:3", &["--steps", "4", "--beam", "4", "--max-labels", "8"]),
+];
+
+/// A search killed outright (the `kill` failpoint aborts the process, like
+/// SIGKILL, at its second checkpoint write — so the snapshot on disk is the
+/// *first* boundary, mid-search) must resume and produce the exact bytes of
+/// an uninterrupted run, at 1 worker thread and at 4.
+#[test]
+fn killed_search_resumes_to_a_byte_identical_certificate() {
+    for (spec, args) in CASES {
+        for threads in ["1", "4"] {
+            let dir = tmp_dir(&format!("kill-{threads}-{}", spec.replace(':', "_")));
+            let ck = dir.join("ck");
+            let reference = dir.join("ref.cert.json");
+            let resumed = dir.join("resumed.cert.json");
+
+            let out = cli()
+                .args(["autolb", spec])
+                .args(args)
+                .args(["--threads", threads, "--cert", reference.to_str().unwrap()])
+                .output()
+                .unwrap();
+            assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+            // The failpoint-chosen crash: abort at the 2nd checkpoint write.
+            let out = cli()
+                .args(["autolb", spec])
+                .args(args)
+                .args(["--threads", threads, "--checkpoint", ck.to_str().unwrap()])
+                .env("ROUNDELIM_FAILPOINTS", "checkpoint-write=kill@2")
+                .output()
+                .unwrap();
+            assert!(!out.status.success(), "the kill failpoint must abort the search");
+            assert!(ckpt_file(&ck).exists(), "the first boundary snapshot must survive");
+
+            let out = cli()
+                .args(["autolb", spec])
+                .args(args)
+                .args([
+                    "--threads",
+                    threads,
+                    "--checkpoint",
+                    ck.to_str().unwrap(),
+                    "--resume",
+                    "--cert",
+                    resumed.to_str().unwrap(),
+                ])
+                .output()
+                .unwrap();
+            assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+            assert_eq!(
+                std::fs::read(&reference).unwrap(),
+                std::fs::read(&resumed).unwrap(),
+                "resumed certificate differs from the uninterrupted run \
+                 ({spec}, {threads} threads)"
+            );
+            assert!(!ckpt_file(&ck).exists(), "a completed resume must clear its snapshot");
+        }
+    }
+}
+
+/// The real thing: SIGKILL the child at an arbitrary moment mid-search
+/// (as soon as its first snapshot appears), then resume. The atomic
+/// temp-file + rename write discipline guarantees the snapshot on disk is
+/// never torn, whatever instant the kill landed on.
+#[test]
+fn sigkilled_search_resumes_to_a_byte_identical_certificate() {
+    let dir = tmp_dir("sigkill");
+    let ck = dir.join("ck");
+    let reference = dir.join("ref.cert.json");
+    let resumed = dir.join("resumed.cert.json");
+    let args = ["--steps", "6", "--beam", "6", "--max-labels", "10", "--threads", "2"];
+
+    let out = cli()
+        .args(["autolb", "coloring:3:3"])
+        .args(args)
+        .args(["--cert", reference.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let mut child = cli()
+        .args(["autolb", "coloring:3:3"])
+        .args(args)
+        .args(["--checkpoint", ck.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    // Kill as soon as the search persists its first snapshot. If the search
+    // outran us and already finished, the run below simply starts fresh —
+    // the byte-identity assertion holds either way.
+    wait_for(&ckpt_file(&ck), Duration::from_secs(60));
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let out = cli()
+        .args(["autolb", "coloring:3:3"])
+        .args(args)
+        .args([
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--resume",
+            "--cert",
+            resumed.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&resumed).unwrap(),
+        "resume after SIGKILL must reproduce the uninterrupted certificate"
+    );
+}
+
+/// SIGTERM is graceful: the search stops at its next cancellation poll,
+/// reports the partial verdict with exit code 3, and leaves its last
+/// boundary snapshot on disk for a later resume.
+#[cfg(unix)]
+#[test]
+fn sigterm_stops_gracefully_with_exit_3_and_a_live_snapshot() {
+    let dir = tmp_dir("sigterm");
+    let ck = dir.join("ck");
+    // Heavy enough that the TERM always lands mid-search.
+    let mut child = cli()
+        .args(["autolb", "coloring:3:3", "--steps", "6", "--beam", "6", "--max-labels", "10"])
+        .args(["--threads", "2", "--checkpoint", ck.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    assert!(
+        wait_for(&ckpt_file(&ck), Duration::from_secs(60)),
+        "the search never wrote its first snapshot"
+    );
+    let term = Command::new("kill").args(["-TERM", &child.id().to_string()]).status().unwrap();
+    assert!(term.success(), "kill -TERM failed");
+    let status = wait_with_deadline(&mut child, Duration::from_secs(120));
+    assert_eq!(status.code(), Some(3), "SIGTERM must map to the incomplete exit code");
+    assert!(ckpt_file(&ck).exists(), "the boundary snapshot must survive the SIGTERM");
+    let mut stdout = String::new();
+    std::io::Read::read_to_string(child.stdout.as_mut().unwrap(), &mut stdout).unwrap();
+    assert!(stdout.contains("stopped early (interrupted)"), "{stdout}");
+}
+
+/// A corrupted snapshot must be rejected by the checksum on resume rather
+/// than silently seeding a wrong search state.
+#[test]
+fn corrupted_snapshot_is_rejected_on_resume() {
+    let dir = tmp_dir("corrupt");
+    let ck = dir.join("ck");
+    let out = cli()
+        .args(["autolb", "coloring:3:3", "--steps", "4", "--beam", "4", "--max-labels", "8"])
+        .args(["--checkpoint", ck.to_str().unwrap(), "--max-expansions", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let file = ckpt_file(&ck);
+    // Flip one payload byte, keeping the checksum header intact.
+    let mut bytes = std::fs::read(&file).unwrap();
+    let ix = bytes.len() / 2;
+    bytes[ix] = bytes[ix].wrapping_add(1);
+    std::fs::write(&file, bytes).unwrap();
+    let out = cli()
+        .args(["autolb", "coloring:3:3", "--steps", "4", "--beam", "4", "--max-labels", "8"])
+        .args(["--checkpoint", ck.to_str().unwrap(), "--resume"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "corruption is a runtime error, not a fresh start");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("checksum"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// One poisoned worker must degrade the beam, not abort the search: the
+/// `worker-panic` failpoint blows up exactly one work item, the search
+/// completes, reports the capture, and still exits 0 with a verdict.
+#[test]
+fn a_worker_panic_degrades_the_search_instead_of_aborting_it() {
+    let out = cli()
+        .args(["autolb", "coloring:3:2", "--steps", "6", "--beam", "6", "--max-labels", "10"])
+        .args(["--threads", "2", "--json"])
+        .env("ROUNDELIM_FAILPOINTS", "worker-panic=panic@1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"worker_panics\": 1"), "{stdout}");
+    assert!(stdout.contains("\"verdict\""), "{stdout}");
+}
