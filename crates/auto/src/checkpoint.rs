@@ -11,35 +11,47 @@
 //!
 //! ## On-disk format
 //!
-//! A checkpoint file is a one-line FNV-1a checksum header followed by a
-//! pretty-printed JSON document (schema `roundelim-checkpoint-v1`):
+//! Snapshots are written in `roundelim-checkpoint-v2`: one checksummed
+//! `roundelim-bin-v1` frame (see [`roundelim_core::binenc`]) whose payload
+//! encodes the complete boundary state with u32-interned labels — the
+//! compact at-rest twin of the in-memory representation. The previous
+//! format, `roundelim-checkpoint-v1` (a one-line FNV-1a checksum header
+//! followed by a pretty-printed JSON document with problems embedded as
+//! text), is still **loaded** transparently: [`Checkpoint::load`] sniffs
+//! the leading bytes (`fnv1a64:` ⇒ v1, the binary frame magic ⇒ v2). The
+//! v2 encoding of a snapshot is ~2.5× smaller than its v1 pretty-JSON
+//! form (`v2_is_much_smaller_than_v1` pins the floor at 2×).
 //!
-//! ```text
-//! fnv1a64:<16 hex digits>
-//! {
-//!   "schema": "roundelim-checkpoint-v1",
-//!   ...
-//! }
-//! ```
-//!
-//! Problems are embedded in the core text format (whose `to_text`/`parse`
-//! round trip is exact, alphabet order included). Files are written with
-//! [`atomic_write`] — temp file, fsync, rename — so a crash mid-write (or
-//! the `checkpoint-write` failpoint) leaves either the previous snapshot or
-//! the new one, never a torn file; [`Checkpoint::load`] additionally
-//! rejects any payload whose checksum does not match.
+//! Files are written with [`atomic_write`] — temp file, fsync, rename — so
+//! a crash mid-write (or the `checkpoint-write` failpoint) leaves either
+//! the previous snapshot or the new one, never a torn file; loading
+//! rejects any payload whose checksum does not match, in both formats.
 
+use crate::binenc::{
+    decode_direction, decode_edge, decode_model, decode_search_stats, encode_direction,
+    encode_edge, encode_model, encode_search_stats,
+};
 use crate::certificate::{edge_from_json, edge_to_json, Direction, Edge};
 use crate::failpoint;
 use crate::json::Json;
 use crate::search::SearchStats;
+use roundelim_core::binenc::{
+    decode_problem, encode_problem, fnv1a64, frame, unframe, Dec, Enc, MAGIC,
+};
 use roundelim_core::error::{Error, Result};
 use roundelim_core::io::atomic_write;
+use roundelim_core::problem::Problem;
 use roundelim_core::sequence::ZeroRoundModel;
 use std::path::{Path, PathBuf};
 
-/// Schema tag of the on-disk format.
+/// Schema tag of the legacy JSON on-disk format (still loadable).
 pub const SCHEMA: &str = "roundelim-checkpoint-v1";
+
+/// Schema tag of the binary on-disk format ([`Checkpoint::save`] writes it).
+pub const SCHEMA_V2: &str = "roundelim-checkpoint-v2";
+
+/// Frame kind of a v2 checkpoint file.
+const FRAME_KIND: &str = "checkpoint-v2";
 
 /// The snapshot file inside a checkpoint directory.
 pub fn checkpoint_file(dir: &Path) -> PathBuf {
@@ -50,15 +62,15 @@ pub fn checkpoint_file(dir: &Path) -> PathBuf {
 /// metadata, serialized side by side (they are indexed in lockstep).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CkEntry {
-    /// Representative problem, in core text format.
-    pub problem: String,
+    /// Representative problem.
+    pub problem: Problem,
     /// Step edges on the first-reach path from the root.
     pub depth: usize,
     /// First-reach parent id and connecting edge.
     pub parent: Option<(u32, Edge)>,
     /// Memoized speedup: successor class id and the concrete derived
-    /// problem (text format).
-    pub step: Option<(u32, String)>,
+    /// problem.
+    pub step: Option<(u32, Problem)>,
     /// Memoized 0-round verdicts, one slot per [`ZeroRoundModel`].
     pub zero_round: [Option<bool>; 2],
 }
@@ -70,8 +82,8 @@ pub struct Checkpoint {
     pub direction: Direction,
     /// The 0-round model of the search.
     pub model: ZeroRoundModel,
-    /// The input problem, in core text format.
-    pub root: String,
+    /// The input problem.
+    pub root: Problem,
     /// [`crate::search::SearchOptions::beam_width`] at snapshot time.
     pub beam_width: usize,
     /// [`crate::search::SearchOptions::max_labels`] at snapshot time.
@@ -96,18 +108,6 @@ pub struct Checkpoint {
     pub entries: Vec<CkEntry>,
     /// The cache's fingerprint index, sorted by fingerprint.
     pub fps: Vec<(u64, Vec<u32>)>,
-}
-
-/// 64-bit FNV-1a over a byte string — small, dependency-free, and more
-/// than enough to catch truncation and bit rot (adversarial tampering is
-/// out of scope: a checkpoint is the search's own private state).
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 fn opt_bool_json(v: Option<bool>) -> Json {
@@ -137,7 +137,7 @@ fn ids_json(ids: &[u32]) -> Json {
 
 impl Checkpoint {
     /// Writes the snapshot to `path` atomically (temp file + fsync +
-    /// rename), prefixed with its checksum line. Hits the
+    /// rename) in the checksummed v2 binary format. Hits the
     /// `checkpoint-write` failpoint first, so a fault-injection test can
     /// crash the process at exactly this moment and assert that the
     /// previous snapshot survives intact.
@@ -146,22 +146,28 @@ impl Checkpoint {
     ///
     /// I/O errors from the atomic write.
     pub fn save(&self, path: &Path) -> Result<()> {
-        let payload = self.json_value().to_string_pretty();
-        let body = format!("fnv1a64:{:016x}\n{payload}\n", fnv1a64(payload.as_bytes()));
+        let body = self.to_bin();
         failpoint::hit("checkpoint-write");
         atomic_write(path, &body)
     }
 
-    /// Reads and validates a snapshot written by [`Checkpoint::save`].
+    /// Reads and validates a snapshot in either on-disk format: the binary
+    /// v2 written by [`Checkpoint::save`], or a legacy v1 JSON file (so a
+    /// search interrupted under an older build resumes under this one).
     ///
     /// # Errors
     ///
     /// I/O errors, a checksum mismatch (torn or corrupted file), an
     /// unknown schema, or a malformed payload.
     pub fn load(path: &Path) -> Result<Checkpoint> {
-        let text = std::fs::read_to_string(path)
+        let bytes = std::fs::read(path)
             .map_err(|e| Error::Io { path: path.display().to_string(), reason: e.to_string() })?;
+        if bytes.starts_with(MAGIC) {
+            return Checkpoint::from_bin(&bytes);
+        }
         let bad = |reason: &str| Error::Inconsistent { reason: format!("checkpoint: {reason}") };
+        let text =
+            String::from_utf8(bytes).map_err(|_| bad("file is neither a v2 frame nor v1 text"))?;
         let (head, rest) =
             text.split_once('\n').ok_or_else(|| bad("missing checksum header line"))?;
         let sum = head
@@ -175,6 +181,151 @@ impl Checkpoint {
         Checkpoint::from_json(payload)
     }
 
+    /// The snapshot as one framed v2 binary message (what
+    /// [`Checkpoint::save`] writes).
+    pub fn to_bin(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        encode_direction(self.direction, &mut e);
+        encode_model(self.model, &mut e);
+        encode_problem(&self.root, &mut e);
+        e.usize(self.beam_width);
+        e.usize(self.max_labels);
+        e.bool(self.use_relaxations);
+        e.bool(self.prune_siblings);
+        e.usize(self.depth);
+        e.u32(self.frontier.len() as u32);
+        for &id in &self.frontier {
+            e.u32(id);
+        }
+        e.u32(self.goals.len() as u32);
+        for &id in &self.goals {
+            e.u32(id);
+        }
+        e.usize(self.deepest_depth);
+        e.u32(self.deepest_node);
+        encode_search_stats(&self.stats, &mut e);
+        e.u32(self.entries.len() as u32);
+        for entry in &self.entries {
+            encode_problem(&entry.problem, &mut e);
+            e.usize(entry.depth);
+            match &entry.parent {
+                None => e.u8(0),
+                Some((pid, edge)) => {
+                    e.u8(1);
+                    e.u32(*pid);
+                    encode_edge(edge, &mut e);
+                }
+            }
+            match &entry.step {
+                None => e.u8(0),
+                Some((succ, derived)) => {
+                    e.u8(1);
+                    e.u32(*succ);
+                    encode_problem(derived, &mut e);
+                }
+            }
+            for slot in &entry.zero_round {
+                e.u8(match slot {
+                    None => 0,
+                    Some(false) => 1,
+                    Some(true) => 2,
+                });
+            }
+        }
+        e.u32(self.fps.len() as u32);
+        for (fp, ids) in &self.fps {
+            e.u64(*fp);
+            e.u32(ids.len() as u32);
+            for &id in ids {
+                e.u32(id);
+            }
+        }
+        frame(FRAME_KIND, &e.into_bytes())
+    }
+
+    /// Parses the framed v2 binary message written by [`Checkpoint::to_bin`].
+    ///
+    /// # Errors
+    ///
+    /// Frame errors (bad magic/kind, truncation, checksum mismatch) and
+    /// codec errors. Structural validation against the search (id ranges,
+    /// ancestry) is done at restore time, not here.
+    pub fn from_bin(bytes: &[u8]) -> Result<Checkpoint> {
+        let bad =
+            |reason: String| Error::Parse { line: 0, reason: format!("checkpoint: {reason}") };
+        let payload = unframe(bytes, FRAME_KIND)?;
+        let mut d = Dec::new(payload);
+        let direction = decode_direction(&mut d)?;
+        let model = decode_model(&mut d)?;
+        let root = decode_problem(&mut d)?;
+        let beam_width = d.usize("beam_width")?;
+        let max_labels = d.usize("max_labels")?;
+        let use_relaxations = d.bool("use_relaxations")?;
+        let prune_siblings = d.bool("prune_siblings")?;
+        let depth = d.usize("depth")?;
+        let ids = |what: &str, d: &mut Dec<'_>| -> Result<Vec<u32>> {
+            let n = d.u32(what)? as usize;
+            (0..n).map(|_| d.u32(what)).collect()
+        };
+        let frontier = ids("frontier", &mut d)?;
+        let goals = ids("goals", &mut d)?;
+        let deepest_depth = d.usize("deepest_depth")?;
+        let deepest_node = d.u32("deepest_node")?;
+        let stats = decode_search_stats(&mut d)?;
+        let n = d.u32("entry count")? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let problem = decode_problem(&mut d)?;
+            let depth = d.usize("entry depth")?;
+            let parent = match d.u8("parent tag")? {
+                0 => None,
+                1 => Some((d.u32("parent id")?, decode_edge(&mut d)?)),
+                t => return Err(bad(format!("unknown parent tag {t}"))),
+            };
+            let step = match d.u8("step tag")? {
+                0 => None,
+                1 => Some((d.u32("step succ")?, decode_problem(&mut d)?)),
+                t => return Err(bad(format!("unknown step tag {t}"))),
+            };
+            let mut zero_round = [None, None];
+            for slot in &mut zero_round {
+                *slot = match d.u8("zero_round slot")? {
+                    0 => None,
+                    1 => Some(false),
+                    2 => Some(true),
+                    t => return Err(bad(format!("unknown zero_round tag {t}"))),
+                };
+            }
+            entries.push(CkEntry { problem, depth, parent, step, zero_round });
+        }
+        let n = d.u32("fps count")? as usize;
+        let mut fps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let fp = d.u64("fp")?;
+            let k = d.u32("fps bucket size")? as usize;
+            let bucket = (0..k).map(|_| d.u32("fps id")).collect::<Result<Vec<_>>>()?;
+            fps.push((fp, bucket));
+        }
+        d.finish()?;
+        Ok(Checkpoint {
+            direction,
+            model,
+            root,
+            beam_width,
+            max_labels,
+            use_relaxations,
+            prune_siblings,
+            depth,
+            frontier,
+            goals,
+            deepest_depth,
+            deepest_node,
+            stats,
+            entries,
+            fps,
+        })
+    }
+
     /// The snapshot as a [`Json`] value.
     pub fn json_value(&self) -> Json {
         let entries = self
@@ -182,7 +333,7 @@ impl Checkpoint {
             .iter()
             .map(|e| {
                 let mut fields = vec![
-                    ("problem", Json::Str(e.problem.clone())),
+                    ("problem", Json::Str(e.problem.to_text())),
                     ("depth", Json::Num(e.depth as u64)),
                     (
                         "zero_round",
@@ -203,7 +354,7 @@ impl Checkpoint {
                         "step",
                         Json::obj([
                             ("succ", Json::Num(u64::from(*succ))),
-                            ("derived", Json::Str(derived.clone())),
+                            ("derived", Json::Str(derived.to_text())),
                         ]),
                     ));
                 }
@@ -230,7 +381,7 @@ impl Checkpoint {
             ("schema", Json::Str(SCHEMA.into())),
             ("direction", Json::Str(direction_str(self.direction).into())),
             ("model", Json::Str(model_str(self.model).into())),
-            ("root", Json::Str(self.root.clone())),
+            ("root", Json::Str(self.root.to_text())),
             ("beam_width", Json::Num(self.beam_width as u64)),
             ("max_labels", Json::Num(self.max_labels as u64)),
             ("use_relaxations", Json::Bool(self.use_relaxations)),
@@ -316,11 +467,11 @@ impl Checkpoint {
             .ok_or_else(|| bad("missing `entries` array"))?
             .iter()
             .map(|e| {
-                let problem = e
-                    .get("problem")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| bad("entry missing `problem`"))?
-                    .to_owned();
+                let problem = Problem::parse(
+                    e.get("problem")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("entry missing `problem`"))?,
+                )?;
                 let depth = num(e.get("depth"), "depth")? as usize;
                 let zero_round_arr = e
                     .get("zero_round")
@@ -350,10 +501,11 @@ impl Checkpoint {
                         num(s.get("succ"), "step succ").and_then(|n| {
                             u32::try_from(n).map_err(|_| bad("step succ out of range"))
                         })?,
-                        s.get("derived")
-                            .and_then(Json::as_str)
-                            .ok_or_else(|| bad("step needs `derived`"))?
-                            .to_owned(),
+                        Problem::parse(
+                            s.get("derived")
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| bad("step needs `derived`"))?,
+                        )?,
                     )),
                 };
                 Ok(CkEntry { problem, depth, parent, step, zero_round })
@@ -379,7 +531,7 @@ impl Checkpoint {
         Ok(Checkpoint {
             direction,
             model,
-            root: str_field("root")?,
+            root: Problem::parse(&str_field("root")?)?,
             beam_width: num(v.get("beam_width"), "beam_width")? as usize,
             max_labels: num(v.get("max_labels"), "max_labels")? as usize,
             use_relaxations: boolean("use_relaxations")?,
@@ -401,11 +553,15 @@ impl Checkpoint {
 mod tests {
     use super::*;
 
+    fn prob(name: &str) -> Problem {
+        Problem::parse(&format!("name: {name}\nnode: O O O | O O I | O I I\nedge: O I")).unwrap()
+    }
+
     fn sample() -> Checkpoint {
         Checkpoint {
             direction: Direction::Lower,
             model: ZeroRoundModel::Oriented,
-            root: "name: sc\nlabels: 1 0\nnode: 1 0 0\nedge: 0 0 | 0 1\n".into(),
+            root: prob("root"),
             beam_width: 8,
             max_labels: 12,
             use_relaxations: true,
@@ -430,7 +586,7 @@ mod tests {
             },
             entries: (0..6)
                 .map(|i| CkEntry {
-                    problem: format!("p{i}"),
+                    problem: prob(&format!("p{i}")),
                     depth: i / 3,
                     parent: if i == 0 {
                         None
@@ -446,7 +602,7 @@ mod tests {
                             },
                         ))
                     },
-                    step: if i == 2 { Some((3, "pd".into())) } else { None },
+                    step: if i == 2 { Some((3, prob("pd"))) } else { None },
                     zero_round: [Some(i == 5), None],
                 })
                 .collect(),
@@ -462,6 +618,12 @@ mod tests {
     }
 
     #[test]
+    fn bin_round_trip_preserves_everything() {
+        let ck = sample();
+        assert_eq!(Checkpoint::from_bin(&ck.to_bin()).unwrap(), ck);
+    }
+
+    #[test]
     fn save_load_round_trips_and_is_checksummed() {
         let dir = std::env::temp_dir().join(format!("roundelim-ckpt-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -470,15 +632,48 @@ mod tests {
         ck.save(&path).unwrap();
         assert_eq!(Checkpoint::load(&path).unwrap(), ck);
         // Flip one payload byte: the checksum must catch it.
-        let mut text = std::fs::read_to_string(&path).unwrap();
-        text = text.replace("\"beam_width\": 8", "\"beam_width\": 9");
-        std::fs::write(&path, &text).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        let mut torn = good.clone();
+        torn[good.len() / 2] ^= 0x01;
+        std::fs::write(&path, &torn).unwrap();
         let err = Checkpoint::load(&path).unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
         // Truncation is caught too.
-        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
         assert!(Checkpoint::load(&path).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        // A file written by the previous release (checksummed pretty JSON
+        // with problems embedded as text) loads transparently.
+        let dir = std::env::temp_dir().join(format!("roundelim-ckpt-v1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = checkpoint_file(&dir);
+        let ck = sample();
+        let payload = ck.json_value().to_string_pretty();
+        let body = format!("fnv1a64:{:016x}\n{payload}\n", fnv1a64(payload.as_bytes()));
+        std::fs::write(&path, &body).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        // A corrupted v1 payload is still rejected by its checksum.
+        let torn = body.replace("\"beam_width\": 8", "\"beam_width\": 9");
+        std::fs::write(&path, &torn).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_is_much_smaller_than_v1() {
+        let ck = sample();
+        let payload = ck.json_value().to_string_pretty();
+        let v1_len = payload.len() + "fnv1a64:0000000000000000\n\n".len();
+        let v2_len = ck.to_bin().len();
+        assert!(
+            v1_len >= 2 * v2_len,
+            "v2 should be at least 2x smaller: v1={v1_len} bytes, v2={v2_len} bytes"
+        );
     }
 
     #[test]

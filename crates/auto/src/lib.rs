@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binenc;
 pub mod cache;
 pub mod certificate;
 pub mod checkpoint;
@@ -60,5 +61,6 @@ pub mod search;
 pub use cache::{CanonCache, NodeId};
 pub use certificate::{CertError, CertVerdict, Certificate, Direction, Edge};
 pub use search::{
-    autolb, autoub, CheckpointConf, Outcome, SearchOptions, SearchStats, StopCause, Verdict,
+    autolb, autoub, CancelToken, CheckpointConf, Outcome, Progress, ProgressHook, SearchOptions,
+    SearchStats, StopCause, Verdict,
 };

@@ -50,7 +50,99 @@ use roundelim_core::problem::Problem;
 use roundelim_core::profile::{span, Stage};
 use roundelim_core::sequence::ZeroRoundModel;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shareable cooperative-cancellation probe (see [`SearchOptions::cancel`]).
+///
+/// Two flavors cover the two callers:
+///
+/// * [`CancelToken::new`] wraps a fresh atomic flag the owner flips with
+///   [`CancelToken::cancel`] — the daemon holds one per in-flight request
+///   and cancels it on client disconnect or shutdown;
+/// * [`CancelToken::from_probe`] adapts a plain `fn() -> bool`, which is
+///   what a signal handler can reach (the CLI's SIGTERM/SIGINT flag is a
+///   `static AtomicBool` the handler stores to).
+#[derive(Debug, Clone)]
+pub struct CancelToken(TokenInner);
+
+#[derive(Debug, Clone)]
+enum TokenInner {
+    Flag(Arc<AtomicBool>),
+    Probe(fn() -> bool),
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken(TokenInner::Flag(Arc::new(AtomicBool::new(false))))
+    }
+
+    /// Adapts an external probe (e.g. a signal-handler flag reader).
+    /// [`CancelToken::cancel`] is a no-op on such tokens — cancellation is
+    /// owned by whoever sets the probed state.
+    pub fn from_probe(probe: fn() -> bool) -> CancelToken {
+        CancelToken(TokenInner::Probe(probe))
+    }
+
+    /// Requests cancellation. Every clone of this token observes it.
+    pub fn cancel(&self) {
+        if let TokenInner::Flag(flag) = &self.0 {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.0 {
+            TokenInner::Flag(flag) => flag.load(Ordering::SeqCst),
+            TokenInner::Probe(probe) => probe(),
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+/// A depth-boundary progress report (see [`SearchOptions::progress`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// The depth-loop counter at the boundary.
+    pub depth: usize,
+    /// Nodes expanded so far.
+    pub expanded: usize,
+    /// Isomorphism classes interned so far.
+    pub classes: usize,
+    /// Frontier size entering this depth.
+    pub frontier: usize,
+}
+
+/// A progress observer called at every depth boundary of a search (the
+/// same consistency points where checkpoints are taken), so a service can
+/// stream progress events without touching the search's hot paths.
+#[derive(Clone)]
+pub struct ProgressHook(Arc<dyn Fn(Progress) + Send + Sync>);
+
+impl ProgressHook {
+    /// Wraps a callback. It runs on the search thread — keep it cheap.
+    pub fn new(f: impl Fn(Progress) + Send + Sync + 'static) -> ProgressHook {
+        ProgressHook(Arc::new(f))
+    }
+
+    pub(crate) fn emit(&self, p: Progress) {
+        (self.0)(p);
+    }
+}
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
 
 /// Tuning knobs for [`autolb`] / [`autoub`].
 #[derive(Debug, Clone)]
@@ -88,10 +180,13 @@ pub struct SearchOptions {
     pub max_expansions: Option<usize>,
     /// Checkpoint persistence; `None` runs without any on-disk state.
     pub checkpoint: Option<CheckpointConf>,
-    /// Cooperative cancellation probe (e.g. a SIGTERM flag), polled at the
-    /// same points as the time budget; returning `true` stops the search
-    /// gracefully ([`StopCause::Interrupted`]).
-    pub cancel: Option<fn() -> bool>,
+    /// Cooperative cancellation probe (e.g. a SIGTERM flag or a daemon
+    /// request token), polled at the same points as the time budget; a
+    /// cancelled token stops the search gracefully
+    /// ([`StopCause::Interrupted`]).
+    pub cancel: Option<CancelToken>,
+    /// Depth-boundary progress observer; `None` runs silently.
+    pub progress: Option<ProgressHook>,
 }
 
 impl Default for SearchOptions {
@@ -108,6 +203,7 @@ impl Default for SearchOptions {
             max_expansions: None,
             checkpoint: None,
             cancel: None,
+            progress: None,
         }
     }
 }
@@ -393,7 +489,7 @@ impl Search {
     /// expansion check is still deterministic: `expanded` only moves at
     /// boundaries).
     fn stop_cause(&self) -> Option<StopCause> {
-        if self.opts.cancel.is_some_and(|probe| probe()) {
+        if self.opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return Some(StopCause::Interrupted);
         }
         if self.opts.time_budget.is_some_and(|b| self.started.elapsed() >= b) {
@@ -409,7 +505,7 @@ impl Search {
     /// safe to poll anywhere — inside the relaxation closure, between
     /// stages — without affecting deterministic (budget/fresh) runs.
     fn soft_stop(&self) -> bool {
-        self.opts.cancel.is_some_and(|probe| probe())
+        self.opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
             || self.opts.time_budget.is_some_and(|b| self.started.elapsed() >= b)
     }
 
@@ -421,10 +517,10 @@ impl Search {
             .into_iter()
             .zip(&self.meta)
             .map(|((problem, step, zero_round), m)| CkEntry {
-                problem: problem.to_text(),
+                problem,
                 depth: m.depth,
                 parent: m.parent.as_ref().map(|(id, e)| (id.0, e.clone())),
-                step: step.map(|(succ, derived)| (succ.0, derived.to_text())),
+                step: step.map(|(succ, derived)| (succ.0, derived)),
                 zero_round,
             })
             .collect();
@@ -433,7 +529,7 @@ impl Search {
         Checkpoint {
             direction,
             model: self.opts.model,
-            root: root.to_text(),
+            root: root.clone(),
             beam_width: self.opts.beam_width,
             max_labels: self.opts.max_labels,
             use_relaxations: self.opts.use_relaxations,
@@ -467,7 +563,7 @@ impl Search {
         if ck.direction != direction {
             return Err(bad("checkpoint direction does not match this search".into()));
         }
-        if ck.root != root.to_text() {
+        if ck.root != *root {
             return Err(bad("checkpoint was taken on a different input problem".into()));
         }
         if ck.model != opts.model
@@ -495,12 +591,10 @@ impl Search {
         let mut entries = Vec::with_capacity(n);
         let mut meta = Vec::with_capacity(n);
         for (i, e) in ck.entries.into_iter().enumerate() {
-            let problem = Problem::parse(&e.problem)?;
+            let problem = e.problem;
             let step = match e.step {
                 None => None,
-                Some((succ, derived)) => {
-                    Some((node(succ, "step successor")?, Problem::parse(&derived)?))
-                }
+                Some((succ, derived)) => Some((node(succ, "step successor")?, derived)),
             };
             let parent = match e.parent {
                 None => None,
@@ -520,7 +614,7 @@ impl Search {
             entries.push((problem, step, e.zero_round));
             meta.push(Meta { depth: e.depth, parent });
         }
-        if entries[0].0.to_text() != ck.root {
+        if entries[0].0 != ck.root {
             return Err(bad("checkpoint root is not its first entry".into()));
         }
         let fps = ck
@@ -550,6 +644,18 @@ impl Search {
             last_ckpt: Some(ck.stats.expanded),
         };
         Ok((s, LoopState { depth: ck.depth, frontier, goals, deepest }))
+    }
+
+    /// Emits a depth-boundary progress event, if an observer is installed.
+    fn report_progress(&self, st: &LoopState) {
+        if let Some(hook) = &self.opts.progress {
+            hook.emit(Progress {
+                depth: st.depth,
+                expanded: self.stats.expanded,
+                classes: self.cache.len(),
+                frontier: st.frontier.len(),
+            });
+        }
     }
 
     /// Writes a boundary checkpoint if one is configured and due.
@@ -982,6 +1088,7 @@ pub fn autolb(p: &Problem, opts: &SearchOptions) -> Result<Outcome> {
             break;
         }
         s.maybe_checkpoint(&st, Direction::Lower, p)?;
+        s.report_progress(&st);
         let mut pool = st.frontier.clone();
         if opts.use_relaxations {
             if let Some(hit) =
@@ -1064,6 +1171,7 @@ pub fn autoub(p: &Problem, opts: &SearchOptions) -> Result<Outcome> {
             break;
         }
         s.maybe_checkpoint(&st, Direction::Upper, p)?;
+        s.report_progress(&st);
         let mut pool = st.frontier.clone();
         if opts.use_relaxations {
             s.sideways_closure(&mut pool, st.depth, Direction::Upper, false, &mut st.goals);

@@ -13,6 +13,10 @@
 //! * `A2_autolb_coloring`    — k = 3 at Δ = 3, beam 6 (the relax-closure
 //!   stress case: oversized intermediates, subset-row pruning, fingerprint
 //!   dedup)
+//! * `D1_daemon_warm_vs_cold` — coloring:3:3 solved cold (param 0, the
+//!   A2 search) vs served warm from a `roundelimd` proof store (param 1,
+//!   canonical lookup + stored certificate); asserts warm is ≥100× below
+//!   cold
 //! * `S1_generate_regular`   — seeded random Δ-regular graph at n = 10⁵,
 //!   Δ = 3, 4 (single worker: the CSR build + matching-union hot path)
 //! * `S2_stream_check`       — streaming checker over a valid 2-coloring
@@ -27,10 +31,12 @@
 //! Keep this fast (seconds, not minutes): it is a smoke job, not a
 //! statistics job. Set `BENCH_SMOKE_OUT` to change the output path.
 
+use roundelim_auto::certificate::Direction;
 use roundelim_auto::search::{autolb, SearchOptions, Verdict};
 use roundelim_bench::{calibrate_iters, measure, to_json, Measurement};
 use roundelim_core::label::Label;
 use roundelim_core::speedup::{full_step, half_step_edge};
+use roundelim_daemon::ProofStore;
 use roundelim_problems::coloring::coloring;
 use roundelim_problems::sinkless::{sinkless_coloring, sinkless_orientation};
 use roundelim_problems::weak::weak_coloring_pointer;
@@ -102,6 +108,44 @@ fn main() {
         );
         black_box(out);
     });
+
+    // The roundelimd proof cache: param 0 (cold) is the full coloring:3:3
+    // search at the same budget as A2; param 1 (warm) is the same verdict
+    // served from a populated proof store — a canonical-form lookup plus
+    // the stored certificate, no search. The gap is the daemon's whole
+    // reason to exist, so the harness pins it at ≥100× here (and CI's
+    // acceptance flow re-checks it over TCP).
+    {
+        let dir = std::env::temp_dir().join(format!("roundelim-bench-d1-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("bench scratch dir");
+        let mut store = ProofStore::open(&dir).expect("open proof store");
+        let seeded = autolb(&c33, &c33_opts).expect("search succeeds");
+        store
+            .insert(c33.clone(), seeded.certificate.expect("coloring:3:3 certifies"))
+            .expect("seed the proof store");
+        case(&mut results, "D1_daemon_warm_vs_cold", 0, || {
+            let out = autolb(&c33, &c33_opts).expect("search succeeds");
+            black_box(out);
+        });
+        case(&mut results, "D1_daemon_warm_vs_cold", 1, || {
+            let hit = store.lookup(&c33, Direction::Lower).expect("seeded store must hit");
+            black_box(hit);
+        });
+        let median = |param| {
+            results
+                .iter()
+                .find(|m| m.family == "D1_daemon_warm_vs_cold" && m.param == param)
+                .expect("just measured")
+                .median_ns
+        };
+        let (cold, warm) = (median(0), median(1));
+        assert!(
+            cold >= 100 * warm,
+            "warm hit must be ≥100× below the cold search: cold {cold} ns, warm {warm} ns"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     // Million-node-path smoke: graph generation and the streaming checker
     // at a size where the CSR layout and chunking dominate, single worker

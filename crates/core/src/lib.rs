@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binenc;
 pub mod config;
 pub mod constraint;
 pub mod error;

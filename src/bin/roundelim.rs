@@ -27,6 +27,16 @@
 //! roundelim zero-round <file|family:k:Δ> both 0-round deciders
 //! roundelim iso <fileA> <fileB>          isomorphism check
 //! roundelim relax <fileA> <fileB>        relaxation witness A ⟶ B
+//! roundelim serve --store DIR [--addr HOST:PORT] [--workers N]
+//!                                        roundelimd: persistent proof-cache
+//!                                        service over line-JSON/TCP
+//! roundelim client solve <file|family:k:Δ> --addr HOST:PORT
+//!                  [--direction lower|upper] [--steps N] [--beam N]
+//!                  [--max-labels N] [--max-expansions N] [--time-budget SECS]
+//!                  [--cert FILE] [--json]  solve via a roundelimd (cache hits
+//!                                        skip the search); the certificate is
+//!                                        re-verified locally before exit 0
+//! roundelim client <status|stats|shutdown> --addr HOST:PORT
 //! ```
 //!
 //! Problem files use the text format of `roundelim_core::parser`; the
@@ -48,7 +58,7 @@
 
 use roundelim::auto::json::Json;
 use roundelim::auto::search::{
-    autolb, autoub, CheckpointConf, Outcome, SearchOptions, StopCause, Verdict,
+    autolb, autoub, CancelToken, CheckpointConf, Outcome, SearchOptions, StopCause, Verdict,
 };
 use roundelim::auto::Certificate;
 use roundelim::core::fmt::{problem_table, sequence_report, step_report};
@@ -90,14 +100,17 @@ fn usage_err(msg: impl Into<String>) -> CliError {
 
 type CliResult = Result<ExitCode, CliError>;
 
-/// SIGTERM → cooperative cancellation: the handler flips an atomic flag the
-/// search polls, so a terminated `autolb`/`autoub` stops at the next poll
-/// point with its last boundary checkpoint intact and exit code 3.
+/// SIGTERM / SIGINT → cooperative cancellation: the handler flips an atomic
+/// flag the search polls (via a probe [`roundelim::auto::CancelToken`]), so
+/// a terminated or Ctrl-C'd `autolb`/`autoub` stops at the next poll point
+/// with its last boundary checkpoint intact and exit code 3. Both signals
+/// take the same graceful path — Ctrl-C during a long search keeps the
+/// live snapshot exactly like a service manager's TERM does.
 ///
 /// The raw `signal(2)` declaration avoids a libc dependency; the handler
 /// only does an atomic store, which is async-signal-safe.
 #[cfg(unix)]
-mod sigterm {
+mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static FIRED: AtomicBool = AtomicBool::new(false);
@@ -114,15 +127,17 @@ mod sigterm {
         extern "C" {
             fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
         }
+        const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
         unsafe {
+            signal(SIGINT, handler);
             signal(SIGTERM, handler);
         }
     }
 }
 
 #[cfg(not(unix))]
-mod sigterm {
+mod sig {
     pub fn fired() -> bool {
         false
     }
@@ -163,7 +178,12 @@ fn usage() -> ExitCode {
          roundelim sim-vs-bound [--n N] [--seed S] [--threads N] [--family NAME] \
          [--steps N] [--beam N] [--max-labels N] [--out FILE] [--json]\n  \
          roundelim zero-round <file|family:k:Δ>\n  \
-         roundelim iso <fileA> <fileB>\n  roundelim relax <fileA> <fileB>"
+         roundelim iso <fileA> <fileB>\n  roundelim relax <fileA> <fileB>\n  \
+         roundelim serve --store DIR [--addr HOST:PORT] [--workers N]\n  \
+         roundelim client solve <file|family:k:Δ> --addr HOST:PORT \
+         [--direction lower|upper] [--steps N] [--beam N] [--max-labels N] \
+         [--max-expansions N] [--time-budget SECS] [--cert FILE] [--json]\n  \
+         roundelim client <status|stats|shutdown> --addr HOST:PORT"
     );
     ExitCode::from(2)
 }
@@ -228,6 +248,8 @@ fn main() -> ExitCode {
         "zero-round" => cmd_zero_round(&args[1..]),
         "iso" => cmd_iso(&args[1..]),
         "relax" => cmd_relax(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -522,8 +544,8 @@ fn search_options(args: &[String]) -> Result<SearchOptions, CliError> {
 
 fn cmd_auto(args: &[String], lower: bool) -> CliResult {
     let mut opts = search_options(args)?;
-    sigterm::install();
-    opts.cancel = Some(sigterm::fired);
+    sig::install();
+    opts.cancel = Some(CancelToken::from_probe(sig::fired));
     let json = has_flag(args, "--json");
     let run = |p: &Problem| -> Result<Outcome, CliError> {
         let r = if lower { autolb(p, &opts) } else { autoub(p, &opts) };
@@ -593,7 +615,7 @@ fn cmd_auto(args: &[String], lower: bool) -> CliResult {
 /// Whether `arg` is the value of some `--flag VALUE` pair (so positional
 /// scanning skips it).
 fn is_flag_value(args: &[String], arg: &String) -> bool {
-    const VALUED: [&str; 9] = [
+    const VALUED: [&str; 13] = [
         "--steps",
         "--beam",
         "--max-labels",
@@ -603,6 +625,10 @@ fn is_flag_value(args: &[String], arg: &String) -> bool {
         "--max-expansions",
         "--checkpoint",
         "--checkpoint-every",
+        "--addr",
+        "--store",
+        "--workers",
+        "--direction",
     ];
     args.iter()
         .zip(args.iter().skip(1))
@@ -766,4 +792,198 @@ fn two_problems(args: &[String], cmd: &str) -> Result<(Problem, Problem), CliErr
     let a = args.first().ok_or_else(|| usage_err(format!("{cmd}: missing first problem")))?;
     let b = args.get(1).ok_or_else(|| usage_err(format!("{cmd}: missing second problem")))?;
     Ok((load(a)?, load(b)?))
+}
+
+/// `roundelim serve`: run `roundelimd`, the persistent proof-cache service.
+///
+/// Prints `roundelimd listening on <addr>` once bound (with `--addr` port 0
+/// this is how callers learn the real port), then serves until a client
+/// sends `shutdown` (exit 0) or SIGTERM/SIGINT arrives (exit 3 — the same
+/// graceful path: in-flight searches are cancelled cooperatively and the
+/// warm-start cache snapshot is persisted either way).
+fn cmd_serve(args: &[String]) -> CliResult {
+    use roundelim::daemon::server::{Exit, ServeConfig, Server};
+    let store = flag_value::<String>(args, "--store")?
+        .ok_or("serve: --store DIR is required (where proofs persist)")?;
+    let addr = flag_value::<String>(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let mut cfg = ServeConfig::new(addr, store);
+    if let Some(w) = flag_value(args, "--workers")? {
+        cfg.workers = w;
+    }
+    sig::install();
+    cfg.signal = Some(sig::fired);
+    let server = Server::bind(&cfg).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("roundelimd listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match server.run().map_err(|e| e.to_string())? {
+        Exit::Requested => {
+            println!("roundelimd: shutdown requested; store persisted");
+            Ok(ExitCode::SUCCESS)
+        }
+        Exit::Signalled => {
+            println!("roundelimd: stopped early (interrupted); store persisted");
+            Ok(ExitCode::from(3))
+        }
+    }
+}
+
+/// `roundelim client`: talk to a running `roundelimd`.
+fn cmd_client(args: &[String]) -> CliResult {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let sub = args
+        .first()
+        .map(String::as_str)
+        .ok_or("client: missing subcommand (solve|status|stats|shutdown)")?;
+    let addr = flag_value::<String>(args, "--addr")?
+        .ok_or("client: --addr HOST:PORT is required (see `roundelimd listening on ...`)")?;
+    let stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| CliError::from(format!("connect {addr}: {e}")))?;
+    let mut reader =
+        BufReader::new(stream.try_clone().map_err(|e| CliError::from(format!("socket: {e}")))?);
+    let mut w = stream;
+    let mut send = |line: &str| -> Result<(), CliError> {
+        w.write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .and_then(|()| w.flush())
+            .map_err(|e| CliError::from(format!("send: {e}")))
+    };
+    let mut recv = || -> Result<Json, CliError> {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| CliError::from(format!("receive: {e}")))?;
+        if n == 0 {
+            return Err(CliError::from("connection closed by daemon".to_owned()));
+        }
+        Json::parse(line.trim()).map_err(|e| CliError::from(format!("bad response: {e}")))
+    };
+    use roundelim::daemon::proto;
+    match sub {
+        "status" | "stats" | "shutdown" => {
+            send(&proto::plain_request_line(sub))?;
+            let v = recv()?;
+            print!("{}", v.to_string_pretty());
+            if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Err(CliError::from(
+                    v.get("error").and_then(Json::as_str).unwrap_or("request failed").to_owned(),
+                ))
+            }
+        }
+        "solve" => {
+            let spec = args[1..]
+                .iter()
+                .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+                .ok_or("client solve: missing problem spec")?;
+            let p = load(spec)?;
+            let direction = match flag_value::<String>(args, "--direction")?.as_deref() {
+                None | Some("lower") | Some("lower-bound") => roundelim::auto::Direction::Lower,
+                Some("upper") | Some("upper-bound") => roundelim::auto::Direction::Upper,
+                Some(other) => {
+                    return Err(usage_err(format!(
+                        "--direction must be `lower` or `upper`, got `{other}`"
+                    )))
+                }
+            };
+            let budget = proto::Budget {
+                max_steps: flag_value(args, "--steps")?,
+                beam_width: flag_value(args, "--beam")?,
+                max_labels: flag_value(args, "--max-labels")?,
+                max_expansions: flag_value(args, "--max-expansions")?,
+                time_budget_ms: flag_value::<u64>(args, "--time-budget")?.map(|s| s * 1000),
+            };
+            send(&proto::solve_line(&p.to_text(), direction, &budget))?;
+            let json = has_flag(args, "--json");
+            loop {
+                let v = recv()?;
+                if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                    return Err(CliError::from(
+                        v.get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or("request failed")
+                            .to_owned(),
+                    ));
+                }
+                match v.get("event").and_then(Json::as_str) {
+                    Some("progress") => {
+                        let n = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+                        eprintln!(
+                            "depth {}: {} expanded, {} classes, frontier {}",
+                            n("depth"),
+                            n("expanded"),
+                            n("classes"),
+                            n("frontier")
+                        );
+                    }
+                    Some("result") => return client_result(args, &v, json),
+                    other => {
+                        return Err(CliError::from(format!("unexpected response event {other:?}")))
+                    }
+                }
+            }
+        }
+        other => Err(usage_err(format!(
+            "client: unknown subcommand `{other}` (solve|status|stats|shutdown)"
+        ))),
+    }
+}
+
+/// Handles the terminal `result` of a `client solve`: re-verifies the
+/// served certificate locally (the daemon is a cache, not a trust root),
+/// optionally exports it, and maps the verdict to the standard exit codes.
+fn client_result(args: &[String], v: &Json, json: bool) -> CliResult {
+    let cached = v.get("cached").and_then(Json::as_bool) == Some(true);
+    let cert = match v.get("certificate") {
+        None | Some(Json::Null) => None,
+        Some(c) => {
+            let cert = Certificate::from_json(&c.to_string_compact())
+                .map_err(|e| CliError::from(format!("served certificate is malformed: {e}")))?;
+            cert.verify().map_err(|e| CliError { code: 4, msg: e.to_string() })?;
+            Some(cert)
+        }
+    };
+    if let Some(path) = flag_values(args, "--cert")?.first() {
+        let cert = cert.as_ref().ok_or_else(|| CliError {
+            code: 3,
+            msg: "no certificate to write (verdict is inconclusive)".to_owned(),
+        })?;
+        atomic_write(path, cert.to_json()).map_err(|e| e.to_string())?;
+        if !json {
+            println!("wrote certificate to {path}");
+        }
+    }
+    if json {
+        print!("{}", v.to_string_pretty());
+    } else {
+        let kind = v
+            .get("verdict")
+            .and_then(|d| d.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown");
+        let rounds = v.get("verdict").and_then(|d| d.get("rounds")).and_then(Json::as_u64);
+        let mut line = format!("verdict: {kind}");
+        if let Some(r) = rounds {
+            line.push_str(&format!(" ({r} rounds)"));
+        }
+        if cached {
+            line.push_str(" [cache hit: served from the proof store, no search]");
+        }
+        println!("{line}");
+        if cert.is_some() {
+            println!("certificate re-verified locally: replayed green");
+        }
+    }
+    let stop = v.get("stop").and_then(Json::as_str).unwrap_or("");
+    let kind = v
+        .get("verdict")
+        .and_then(|d| d.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap_or("inconclusive");
+    let forced = matches!(stop, "time-budget" | "expansion-budget" | "interrupted");
+    if kind == "inconclusive" || forced {
+        Ok(ExitCode::from(3))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }

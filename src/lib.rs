@@ -16,6 +16,9 @@
 //!   lower bound for weak 2-coloring (Theorem 4).
 //! * [`sim`] — a port-numbering-model simulator, graph generators, and the
 //!   *executable* Theorem 1 on rings.
+//! * [`daemon`] — `roundelimd`, a persistent proof-cache service: solved
+//!   bounds are stored in a versioned binary encoding and served (up to
+//!   isomorphism) over a line-JSON/TCP protocol without re-searching.
 //!
 //! ## Quick start
 //!
@@ -33,6 +36,7 @@
 
 pub use roundelim_auto as auto;
 pub use roundelim_core as core;
+pub use roundelim_daemon as daemon;
 pub use roundelim_problems as problems;
 pub use roundelim_sim as sim;
 pub use roundelim_superweak as superweak;

@@ -356,3 +356,54 @@ fn speedup_and_iterate_emit_json() {
         run_ok(&["iterate", "sinkless-coloring::3", "--relax", file.to_str().unwrap(), "--json"]);
     assert!(out.contains("\"template\": 0"), "{out}");
 }
+
+/// Ctrl-C (SIGINT) takes the same graceful path as SIGTERM: the search
+/// stops at its next cancellation poll, reports the partial verdict with
+/// exit code 3, and leaves its last boundary snapshot on disk for a later
+/// resume. (The SIGTERM twin lives in `tests/crash_recovery.rs`.)
+#[cfg(unix)]
+#[test]
+fn sigint_stops_gracefully_with_exit_3_and_a_live_snapshot() {
+    use std::process::Stdio;
+    use std::time::{Duration, Instant};
+
+    let dir = tmp_dir().join("sigint");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("ck");
+    let ckpt = ck.join("search.ckpt.json");
+    // Heavy enough that the INT always lands mid-search.
+    let mut child = cli()
+        .args(["autolb", "coloring:3:3", "--steps", "6", "--beam", "6", "--max-labels", "10"])
+        .args(["--threads", "2", "--checkpoint", ck.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    // Wait for the first boundary snapshot before delivering the signal.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "the search never wrote its first snapshot");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let int = Command::new("kill").args(["-INT", &child.id().to_string()]).status().unwrap();
+    assert!(int.success(), "kill -INT failed");
+    // Wait with a deadline so a regression can never hang the suite.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        if Instant::now() >= deadline {
+            child.kill().unwrap();
+            let status = child.wait().unwrap();
+            panic!("child did not exit within 120s after SIGINT (killed, status {status})");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(status.code(), Some(3), "SIGINT must map to the incomplete exit code");
+    assert!(ckpt.exists(), "the boundary snapshot must survive the SIGINT");
+    let mut stdout = String::new();
+    std::io::Read::read_to_string(child.stdout.as_mut().unwrap(), &mut stdout).unwrap();
+    assert!(stdout.contains("stopped early (interrupted)"), "{stdout}");
+}

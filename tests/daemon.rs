@@ -1,0 +1,285 @@
+//! End-to-end tests of `roundelimd`, the persistent proof-cache service:
+//! a problem solved once is served from the store on every later request
+//! — including after a kill-and-restart, and for isomorphic renamings —
+//! with a byte-identical certificate and no re-search, and the store
+//! bytes are independent of the search worker-thread count.
+//!
+//! NOTE on wire assertions: the daemon renders every response through
+//! `auto::json`, which sorts object keys and puts a space after each
+//! colon (`"cached": true`), so the patterns below use that spelling.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_roundelim"))
+}
+
+/// A fresh per-test scratch directory (unique per process so parallel
+/// suite runs cannot tamper with each other's fixtures).
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("roundelim-daemon-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Sinkless orientation (Δ = 3) and an isomorphic renaming of it
+/// (O ↦ X, I ↦ Y, with the configurations re-ordered): the classic
+/// "same problem, different spelling" pair for cache-hit tests.
+const SO: &str = "name: so\nnode: O O O | O O I | O I I\nedge: O I";
+const SO_RENAMED: &str = "name: so2\nnode: Y X X | X X X | Y Y X\nedge: X Y";
+
+/// A daemon process plus the address it bound and its stdout reader
+/// (kept open so the daemon's final println cannot hit a closed pipe).
+struct Daemon {
+    child: Child,
+    addr: String,
+    stdout: BufReader<ChildStdout>,
+}
+
+/// A test failure must not leak the daemon: a leaked child holds the
+/// harness's captured output pipe open and hangs the whole `cargo test`.
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Daemon {
+    /// Spawns `roundelim serve --addr 127.0.0.1:0 --store <dir>` and
+    /// parses the bound address from the banner line.
+    fn spawn(store: &Path, extra_env: &[(&str, &str)]) -> Daemon {
+        let mut cmd = cli();
+        cmd.args(["serve", "--addr", "127.0.0.1:0", "--store", store.to_str().unwrap()])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in extra_env {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().unwrap();
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let mut banner = String::new();
+        stdout.read_line(&mut banner).unwrap();
+        let addr = banner
+            .trim()
+            .strip_prefix("roundelimd listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+            .to_owned();
+        Daemon { child, addr, stdout }
+    }
+
+    /// Sends one request line and reads response lines until the terminal
+    /// event for that request (anything but a progress event).
+    fn request(&self, line: &str) -> Vec<String> {
+        let mut stream = TcpStream::connect(&self.addr).unwrap();
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut lines = Vec::new();
+        for l in BufReader::new(stream).lines() {
+            let l = l.unwrap();
+            let done = !l.contains("\"event\": \"progress\"");
+            lines.push(l);
+            if done {
+                break;
+            }
+        }
+        assert!(!lines.is_empty(), "daemon closed the connection without replying");
+        lines
+    }
+
+    /// The terminal response line for a request.
+    fn response(&self, line: &str) -> String {
+        self.request(line).pop().unwrap()
+    }
+
+    /// Requests shutdown and waits for a clean exit (code 0).
+    fn shutdown(&mut self) -> String {
+        let ack = self.response("{\"req\":\"shutdown\"}");
+        assert!(ack.contains("\"event\": \"shutdown\""), "{ack}");
+        let status = wait_with_deadline(&mut self.child, Duration::from_secs(60));
+        assert_eq!(status.code(), Some(0), "requested shutdown must exit 0");
+        let mut rest = String::new();
+        self.stdout.read_to_string(&mut rest).unwrap();
+        rest
+    }
+}
+
+/// Waits for the child with a deadline, SIGKILLing it on timeout so a
+/// regression can never hang the suite.
+fn wait_with_deadline(child: &mut Child, timeout: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            child.kill().unwrap();
+            let status = child.wait().unwrap();
+            panic!("daemon did not exit within {timeout:?} (killed, status {status})");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn solve_line(problem: &str) -> String {
+    format!(
+        "{{\"req\":\"solve\",\"problem\":\"{}\",\"direction\":\"lower\"}}",
+        json_escape(problem)
+    )
+}
+
+/// The `"certificate": …` field of a result line — the part that must be
+/// byte-identical between a fresh solve and every later cache hit. Keys
+/// are rendered sorted, so the field ends where `"event"` begins.
+fn cert_part(result: &str) -> &str {
+    let start = result.find("\"certificate\":").expect("result carries a certificate");
+    let end = result.find(",\"event\"").expect("result carries an event field");
+    assert!(start < end, "unexpected result layout: {result}");
+    &result[start..end]
+}
+
+/// One daemon lifetime: a cold solve populates the store, an identical
+/// request is a cache hit with a byte-identical certificate, and `stats`
+/// sees exactly one miss and one hit.
+#[test]
+fn second_solve_is_a_byte_identical_cache_hit() {
+    let store = tmp_dir("warm");
+    let mut d = Daemon::spawn(&store, &[]);
+
+    let cold = d.response(&solve_line(SO));
+    assert!(cold.contains("\"ok\": true"), "{cold}");
+    assert!(cold.contains("\"cached\": false"), "first solve must miss: {cold}");
+    assert!(cold.contains("\"kind\": \"unbounded\""), "{cold}");
+
+    let warm = d.response(&solve_line(SO));
+    assert!(warm.contains("\"cached\": true"), "second solve must hit: {warm}");
+    assert_eq!(
+        cert_part(&cold),
+        cert_part(&warm),
+        "the served certificate must be byte-identical to the solved one"
+    );
+
+    let stats = d.response("{\"req\":\"stats\"}");
+    assert!(stats.contains("\"cache_hits\": 1"), "{stats}");
+    assert!(stats.contains("\"cache_misses\": 1"), "{stats}");
+
+    let status = d.response("{\"req\":\"status\"}");
+    assert!(status.contains("\"protocol\": \"roundelimd-1\""), "{status}");
+    assert!(status.contains("\"records\": 1"), "{status}");
+
+    // Malformed requests report an error but keep the daemon alive.
+    let err = d.response("{\"req\":\"frobnicate\"}");
+    assert!(err.contains("\"ok\": false"), "{err}");
+    let tail = d.shutdown();
+    assert!(tail.contains("shutdown requested"), "{tail}");
+}
+
+/// The acceptance lifecycle: solve, SIGTERM-kill the daemon (exit 3),
+/// restart it on the same store, and both the original spelling and an
+/// isomorphic renaming are served from the store without re-searching.
+#[cfg(unix)]
+#[test]
+fn killed_and_restarted_daemon_serves_isomorphic_hits_from_the_store() {
+    let store = tmp_dir("restart");
+    let mut d = Daemon::spawn(&store, &[]);
+    let cold = d.response(&solve_line(SO));
+    assert!(cold.contains("\"cached\": false"), "{cold}");
+
+    let term = Command::new("kill").args(["-TERM", &d.child.id().to_string()]).status().unwrap();
+    assert!(term.success(), "kill -TERM failed");
+    let status = wait_with_deadline(&mut d.child, Duration::from_secs(60));
+    assert_eq!(status.code(), Some(3), "SIGTERM must map to the interrupted exit code");
+    let mut tail = String::new();
+    d.stdout.read_to_string(&mut tail).unwrap();
+    assert!(tail.contains("stopped early (interrupted); store persisted"), "{tail}");
+    assert!(store.join("proofs.bin").exists(), "the proof store must survive the SIGTERM");
+
+    let mut d = Daemon::spawn(&store, &[]);
+    let same = d.response(&solve_line(SO));
+    assert!(same.contains("\"cached\": true"), "restart must serve the stored proof: {same}");
+    assert_eq!(cert_part(&cold), cert_part(&same));
+
+    let iso = d.response(&solve_line(SO_RENAMED));
+    assert!(iso.contains("\"cached\": true"), "isomorphic renaming must hit the store: {iso}");
+    assert_eq!(
+        cert_part(&cold),
+        cert_part(&iso),
+        "an isomorphic query is served the stored representative's certificate"
+    );
+    let stats = d.response("{\"req\":\"stats\"}");
+    assert!(stats.contains("\"cache_misses\": 0"), "restart must never re-search: {stats}");
+    d.shutdown();
+}
+
+/// The store files are byte-identical whether the daemon searched with 1
+/// or 4 worker threads (search determinism reaches the persisted bytes).
+#[test]
+fn store_bytes_are_independent_of_the_thread_count() {
+    let mut stores = Vec::new();
+    for threads in ["1", "4"] {
+        let store = tmp_dir(&format!("threads-{threads}"));
+        let mut d = Daemon::spawn(&store, &[("ROUNDELIM_THREADS", threads)]);
+        let coloring = "name: c3\nnode: 1 0 0 | 0 1 0 | 0 0 1\nedge: 0 1 | 0 2 | 1 2";
+        let budget = ",\"budget\":{\"max_steps\":4,\"beam_width\":4,\"max_labels\":8}";
+        for (p, budget) in [(SO, ""), (coloring, budget)] {
+            let line = format!(
+                "{{\"req\":\"solve\",\"problem\":\"{}\",\"direction\":\"lower\"{budget}}}",
+                json_escape(p)
+            );
+            let r = d.response(&line);
+            assert!(r.contains("\"ok\": true"), "{r}");
+        }
+        d.shutdown();
+        stores.push(store);
+    }
+    for file in ["proofs.bin", "cache.snap.bin"] {
+        assert_eq!(
+            std::fs::read(stores[0].join(file)).unwrap(),
+            std::fs::read(stores[1].join(file)).unwrap(),
+            "{file} must not depend on ROUNDELIM_THREADS"
+        );
+    }
+}
+
+/// The bundled client: a solve round-trip re-verifies the served
+/// certificate locally, `--cert` exports it, and `cert verify` replays
+/// the export green.
+#[test]
+fn client_reverifies_and_exports_certificates() {
+    let store = tmp_dir("client");
+    let dir = tmp_dir("client-files");
+    let problem = dir.join("so.problem");
+    std::fs::write(&problem, SO).unwrap();
+    let cert = dir.join("so.cert.json");
+    let mut d = Daemon::spawn(&store, &[]);
+
+    for pass in ["cold", "warm"] {
+        let out = cli()
+            .args(["client", "solve", problem.to_str().unwrap()])
+            .args(["--addr", &d.addr, "--cert", cert.to_str().unwrap()])
+            .output()
+            .unwrap();
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.success(), "{pass}: {stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+        assert!(stdout.contains("certificate re-verified locally"), "{pass}: {stdout}");
+        if pass == "warm" {
+            assert!(stdout.contains("cache hit"), "second client solve must hit: {stdout}");
+        }
+    }
+    let out = cli().args(["cert", "verify", cert.to_str().unwrap()]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "exported certificate must replay green: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    d.shutdown();
+}
