@@ -34,6 +34,7 @@ use roundelim_core::problem::Problem;
 use roundelim_core::sequence::ZeroRoundModel;
 use roundelim_core::speedup::full_step;
 use roundelim_core::zero_round::{zero_round_oriented, zero_round_pn};
+use roundelim_obs as obs;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -160,7 +161,29 @@ impl CanonCache {
     /// known classes. Falls back to the keyed path (and registers the
     /// fingerprint) on a miss. Same return convention as
     /// [`CanonCache::intern_keyed`].
+    ///
+    /// Every intern bumps the `cache.intern_hits`/`cache.intern_misses`
+    /// registry counters; while profiling or tracing is armed the
+    /// per-intern latency also lands in `cache.intern_hit_ns` /
+    /// `cache.intern_miss_ns` (the canonical-cache hit/miss latency
+    /// histograms).
     pub fn intern_fingerprinted(&mut self, fp: u64, p: Problem) -> (NodeId, Option<Problem>) {
+        let watch = obs::armed().then(obs::time::Stopwatch::start);
+        let out = self.intern_fingerprinted_inner(fp, p);
+        let metrics = intern_metrics();
+        let (count, latency) = if out.1.is_some() {
+            (metrics.hits, metrics.hit_ns)
+        } else {
+            (metrics.misses, metrics.miss_ns)
+        };
+        count.incr();
+        if let Some(watch) = watch {
+            latency.record(watch.elapsed_ns());
+        }
+        out
+    }
+
+    fn intern_fingerprinted_inner(&mut self, fp: u64, p: Problem) -> (NodeId, Option<Problem>) {
         if let Some(ids) = self.fps.get(&fp) {
             for &id in ids {
                 self.stats.iso_resolutions += 1;
@@ -340,6 +363,36 @@ pub struct CacheSnapshot {
 /// sweep/bench workload by a wide margin).
 const STEP_MEMO_CAP: usize = 1024;
 
+/// Registry handles for the cache probes, resolved once so the hot
+/// paths pay one relaxed `fetch_add` per event instead of a registry
+/// lock.
+struct CacheMetrics {
+    hits: &'static obs::metrics::Counter,
+    misses: &'static obs::metrics::Counter,
+    hit_ns: &'static obs::metrics::Histogram,
+    miss_ns: &'static obs::metrics::Histogram,
+}
+
+fn intern_metrics() -> &'static CacheMetrics {
+    static M: OnceLock<CacheMetrics> = OnceLock::new();
+    M.get_or_init(|| CacheMetrics {
+        hits: obs::metrics::counter("cache.intern_hits"),
+        misses: obs::metrics::counter("cache.intern_misses"),
+        hit_ns: obs::metrics::histogram("cache.intern_hit_ns"),
+        miss_ns: obs::metrics::histogram("cache.intern_miss_ns"),
+    })
+}
+
+fn step_memo_metrics() -> &'static CacheMetrics {
+    static M: OnceLock<CacheMetrics> = OnceLock::new();
+    M.get_or_init(|| CacheMetrics {
+        hits: obs::metrics::counter("cache.step_memo_hits"),
+        misses: obs::metrics::counter("cache.step_memo_misses"),
+        hit_ns: obs::metrics::histogram("cache.step_memo_hit_ns"),
+        miss_ns: obs::metrics::histogram("cache.step_memo_miss_ns"),
+    })
+}
+
 /// Process-wide exact `full_step` memo, keyed by the hash of the hybrid
 /// [`dedup_key`] and resolved by **exact problem equality** (an isomorphic
 /// hit is not enough: the search and the certificates need the concrete
@@ -361,18 +414,28 @@ pub fn full_step_cached(p: &Problem) -> Result<Problem> {
     static MEMO: OnceLock<Mutex<StepMemo>> = OnceLock::new();
     let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
     let fp = fingerprint(p);
+    let metrics = step_memo_metrics();
+    let watch = obs::armed().then(obs::time::Stopwatch::start);
     {
         let guard = memo.lock().expect("step memo poisoned");
         if let Some(bucket) = guard.get(&fp) {
             for (src, derived) in bucket {
                 if src == p {
+                    metrics.hits.incr();
+                    if let Some(watch) = watch {
+                        metrics.hit_ns.record(watch.elapsed_ns());
+                    }
                     return Ok(derived.clone());
                 }
             }
         }
     }
+    metrics.misses.incr();
     let _sp = roundelim_core::profile::span(roundelim_core::profile::Stage::Step);
     let derived = full_step(p)?.problem().clone();
+    if let Some(watch) = watch {
+        metrics.miss_ns.record(watch.elapsed_ns());
+    }
     let mut guard = memo.lock().expect("step memo poisoned");
     if guard.values().map(Vec::len).sum::<usize>() < STEP_MEMO_CAP {
         let bucket = guard.entry(fp).or_default();

@@ -49,10 +49,11 @@ use roundelim_core::iso::isomorphism;
 use roundelim_core::problem::Problem;
 use roundelim_core::profile::{span, Stage};
 use roundelim_core::sequence::ZeroRoundModel;
+use roundelim_obs as obs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A shareable cooperative-cancellation probe (see [`SearchOptions::cancel`]).
 ///
@@ -415,7 +416,7 @@ struct Search {
     stats: SearchStats,
     /// Wall-clock anchor for [`SearchOptions::time_budget`] (restarts on
     /// resume: the budget is per process run, not cumulative).
-    started: Instant,
+    started: obs::time::Stopwatch,
     /// Expansion count at the last checkpoint write (`None` = never
     /// written this run, so the first boundary writes immediately).
     last_ckpt: Option<usize>,
@@ -452,7 +453,7 @@ impl Search {
             opts: opts.clone(),
             threads: resolve_threads(opts.threads),
             stats: SearchStats::default(),
-            started: Instant::now(),
+            started: obs::time::Stopwatch::start(),
             last_ckpt: None,
         }
     }
@@ -639,7 +640,7 @@ impl Search {
             opts: opts.clone(),
             threads: resolve_threads(opts.threads),
             stats: ck.stats,
-            started: Instant::now(),
+            started: obs::time::Stopwatch::start(),
             // Nothing new since the snapshot we just loaded.
             last_ckpt: Some(ck.stats.expanded),
         };
@@ -691,7 +692,11 @@ impl Search {
             return Ok(());
         };
         let path = checkpoint_file(&conf.dir);
+        let _sp = obs::trace::span("search.checkpoint_write");
+        let watch = obs::time::Stopwatch::start();
         self.to_checkpoint(st, direction, root).save(&path)?;
+        obs::metrics::histogram("search.checkpoint_write_ns").record(watch.elapsed_ns());
+        obs::metrics::counter("search.checkpoint_writes").incr();
         self.last_ckpt = Some(self.stats.expanded);
         Ok(())
     }
@@ -816,7 +821,13 @@ impl Search {
         let _sp = span(Stage::RelaxClosure);
         let prune = self.opts.prune_siblings;
         let mut wave: Vec<NodeId> = pool.clone();
+        let mut wave_ix = 0u64;
         while !wave.is_empty() {
+            // One trace span per relaxation wave; the wave size histogram
+            // feeds the `--json` obs section and the daemon metrics.
+            let _wave_span = obs::trace::span_v("search.wave", wave_ix);
+            wave_ix += 1;
+            obs::metrics::histogram("search.wave_size").record(wave.len() as u64);
             // Relaxation waves can run long; honor wall-clock budgets and
             // interruptions between waves (deterministic budget runs never
             // trigger this — see `soft_stop`).
@@ -1079,6 +1090,8 @@ pub fn autolb(p: &Problem, opts: &SearchOptions) -> Result<Outcome> {
     }
     let mut stop = StopCause::Completed;
     while st.depth < opts.max_steps {
+        let _depth_span = obs::trace::span_v("search.depth", st.depth as u64);
+        obs::metrics::histogram("search.beam_occupancy").record(st.frontier.len() as u64);
         // Depth boundary: cache, metadata and loop state are consistent —
         // the only place snapshots are taken and budgets can force a stop
         // deterministically.
@@ -1165,6 +1178,8 @@ pub fn autoub(p: &Problem, opts: &SearchOptions) -> Result<Outcome> {
     }
     let mut stop = StopCause::Completed;
     while st.goals.is_empty() && st.depth < opts.max_steps && !st.frontier.is_empty() {
+        let _depth_span = obs::trace::span_v("search.depth", st.depth as u64);
+        obs::metrics::histogram("search.beam_occupancy").record(st.frontier.len() as u64);
         if let Some(cause) = s.stop_cause() {
             stop = cause;
             s.write_checkpoint(&st, Direction::Upper, p)?;

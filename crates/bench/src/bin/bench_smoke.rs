@@ -17,6 +17,10 @@
 //!   A2 search) vs served warm from a `roundelimd` proof store (param 1,
 //!   canonical lookup + stored certificate); asserts warm is ≥100× below
 //!   cold
+//! * `O1_trace_overhead`     — the E3/9 full step with observability
+//!   probes disarmed (param 0; must stay within 2% + 250 µs of the bare
+//!   E3/9 number measured in the same run) and with a trace actively
+//!   recording (param 1, the armed cost: clock reads + event buffering)
 //! * `S1_generate_regular`   — seeded random Δ-regular graph at n = 10⁵,
 //!   Δ = 3, 4 (single worker: the CSR build + matching-union hot path)
 //! * `S2_stream_check`       — streaming checker over a valid 2-coloring
@@ -78,6 +82,47 @@ fn main() {
             black_box(full_step(&p).expect("no overflow"));
         });
     }
+    // The observability tax, measured back to back with the E3/9 step it
+    // re-runs (before the A* searches perturb allocator state). Param 0
+    // is the same full step with no trace sink installed: every probe on
+    // the path is one relaxed atomic load, so the number must sit on top
+    // of the bare E3/9 median from the same run (2% + a 250 µs noise
+    // floor — the same code compiled, so a miss means the disarmed path
+    // grew a clock read or a lock). Param 1 records a live trace around
+    // the same step, keeping the armed cost (clock reads + per-thread
+    // event buffering) visible in the BENCH_speedup.json trajectory for
+    // bench_diff to gate.
+    {
+        let p = weak_coloring_pointer(2, 9).expect("valid Δ");
+        case(&mut results, "O1_trace_overhead", 0, || {
+            black_box(full_step(&p).expect("no overflow"));
+        });
+        let median = |family: &str, param: usize| {
+            results
+                .iter()
+                .find(|m| m.family == family && m.param == param)
+                .expect("measured above")
+                .median_ns
+        };
+        let (bare, disarmed) = (median("E3_weak2_full_step", 9), median("O1_trace_overhead", 0));
+        assert!(
+            disarmed <= bare + bare / 50 + 250_000,
+            "disarmed tracing must stay within 2% of the bare step: \
+             bare {bare} ns, with probes {disarmed} ns"
+        );
+        let trace_path =
+            std::env::temp_dir().join(format!("roundelim-bench-o1-{}.jsonl", std::process::id()));
+        roundelim_obs::trace::install(trace_path.clone(), |path, contents| {
+            std::fs::write(path, contents).map_err(|e| e.to_string())
+        })
+        .expect("install the O1 trace sink");
+        case(&mut results, "O1_trace_overhead", 1, || {
+            black_box(full_step(&p).expect("no overflow"));
+        });
+        roundelim_obs::trace::finish().expect("finish the O1 trace");
+        let _ = std::fs::remove_file(&trace_path);
+    }
+
     // The autolb hot path end to end: search (cache + relax closure +
     // parallel step stage) plus the certificate replay. Single worker so
     // the number is comparable across differently-sized CI boxes.

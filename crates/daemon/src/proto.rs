@@ -11,6 +11,7 @@
 //! | `{"req":"solve", ...}` | `result` | `progress` (one per search depth) |
 //! | `{"req":"status"}` | `status` | — |
 //! | `{"req":"stats"}` | `stats` | — |
+//! | `{"req":"metrics"}` | `metrics` | — |
 //! | `{"req":"shutdown"}` | `shutdown` | — |
 //!
 //! Every response object carries `"ok"`: protocol/search failures are
@@ -21,6 +22,7 @@
 use roundelim_auto::certificate::{CertVerdict, Certificate, Direction};
 use roundelim_auto::json::Json;
 use roundelim_auto::search::{Progress, SearchOptions, Verdict};
+use roundelim_obs as obs;
 use std::time::Duration;
 
 /// Protocol identifier, reported by `status`. Bump on breaking changes.
@@ -35,6 +37,9 @@ pub enum Request {
     Status,
     /// Service counters.
     Stats,
+    /// The full observability registry: counter totals plus latency
+    /// histogram summaries, as JSON and as a Prometheus text exposition.
+    Metrics,
     /// Graceful shutdown: cancel in-flight searches, persist the cache
     /// snapshot, exit.
     Shutdown,
@@ -132,6 +137,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match req {
         "status" => Ok(Request::Status),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "solve" => {
             let problem = v
@@ -248,6 +254,42 @@ pub fn stats_line(s: &DaemonStats) -> String {
     .to_string_compact()
 }
 
+/// Renders the `metrics` response: every registry counter total, every
+/// histogram as `{count, sum, min, max, p50, p90, p99}` (latency metrics
+/// are in nanoseconds, `_ns` suffix), plus the same registry rendered as
+/// a Prometheus text exposition in the `prometheus` string field.
+pub fn metrics_line(snap: &obs::metrics::Snapshot) -> String {
+    let counters =
+        Json::Obj(snap.counters.iter().map(|(name, v)| (name.clone(), Json::Num(*v))).collect());
+    let histograms = Json::Obj(
+        snap.histograms
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    Json::obj([
+                        ("count", Json::Num(h.count)),
+                        ("sum", Json::Num(h.sum)),
+                        ("min", Json::Num(h.min)),
+                        ("max", Json::Num(h.max)),
+                        ("p50", Json::Num(h.p50())),
+                        ("p90", Json::Num(h.p90())),
+                        ("p99", Json::Num(h.p99())),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("event", Json::Str("metrics".into())),
+        ("counters", counters),
+        ("histograms", histograms),
+        ("prometheus", Json::Str(obs::metrics::prometheus_text(snap))),
+    ])
+    .to_string_compact()
+}
+
 /// Renders the `shutdown` acknowledgement.
 pub fn shutdown_line() -> String {
     Json::obj([("ok", Json::Bool(true)), ("event", Json::Str("shutdown".into()))])
@@ -335,6 +377,7 @@ mod tests {
         for (name, want) in [
             ("status", Request::Status),
             ("stats", Request::Stats),
+            ("metrics", Request::Metrics),
             ("shutdown", Request::Shutdown),
         ] {
             assert_eq!(parse_request(&plain_request_line(name)).unwrap(), want);
@@ -358,6 +401,31 @@ mod tests {
         )
         .unwrap_err()
         .contains("max_steps"));
+    }
+
+    #[test]
+    fn metrics_line_renders_counters_histograms_and_prometheus() {
+        let snap = obs::metrics::Snapshot {
+            counters: vec![("daemon.requests".to_owned(), 2)],
+            histograms: vec![(
+                "daemon.solve_ns".to_owned(),
+                obs::metrics::HistogramSnapshot {
+                    count: 1,
+                    sum: 1500,
+                    min: 1500,
+                    max: 1500,
+                    buckets: vec![(1535, 1)],
+                },
+            )],
+        };
+        let line = metrics_line(&snap);
+        assert!(line.contains("\"event\": \"metrics\""), "{line}");
+        assert!(line.contains("\"daemon.requests\": 2"), "{line}");
+        assert!(line.contains("\"count\": 1"), "{line}");
+        assert!(line.contains("\"p50\": 1500"), "{line}");
+        assert!(line.contains("roundelim_daemon_requests 2"), "{line}");
+        assert!(line.contains("roundelim_daemon_solve_ns_count 1"), "{line}");
+        assert!(parse_request(&line).is_err(), "responses are not requests");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use roundelim_auto::certificate::Direction;
 use roundelim_auto::search::{autolb, autoub, CancelToken, ProgressHook, SearchOptions, StopCause};
 use roundelim_core::error::{Error, Result};
 use roundelim_core::problem::Problem;
+use roundelim_obs as obs;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -58,10 +59,54 @@ pub enum Exit {
     Signalled,
 }
 
+/// The daemon's service counters, rebuilt on atomics: each cell is a
+/// `daemon.*` counter in the `roundelim-obs` registry, so the `stats`
+/// response, the `metrics` response, and trace counter trailers all read
+/// the same numbers — and a panicking worker can never poison the stats
+/// path (the old `Mutex<DaemonStats>` aborted unrelated connections once
+/// poisoned).
+///
+/// Registry counters are process-global; a server counts from whatever
+/// the process has accumulated (zero in the one-daemon-per-process
+/// deployment the CLI sets up).
+struct StatsCells {
+    requests: &'static obs::metrics::Counter,
+    cache_hits: &'static obs::metrics::Counter,
+    cache_misses: &'static obs::metrics::Counter,
+    solved: &'static obs::metrics::Counter,
+    inconclusive: &'static obs::metrics::Counter,
+    errors: &'static obs::metrics::Counter,
+}
+
+impl StatsCells {
+    fn new() -> StatsCells {
+        StatsCells {
+            requests: obs::metrics::counter("daemon.requests"),
+            cache_hits: obs::metrics::counter("daemon.cache_hits"),
+            cache_misses: obs::metrics::counter("daemon.cache_misses"),
+            solved: obs::metrics::counter("daemon.solved"),
+            inconclusive: obs::metrics::counter("daemon.inconclusive"),
+            errors: obs::metrics::counter("daemon.errors"),
+        }
+    }
+
+    /// A point-in-time copy as the wire snapshot type.
+    fn snapshot(&self) -> DaemonStats {
+        DaemonStats {
+            requests: self.requests.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            solved: self.solved.get(),
+            inconclusive: self.inconclusive.get(),
+            errors: self.errors.get(),
+        }
+    }
+}
+
 /// State shared between the accept loop, connections, and workers.
 struct Shared {
     store: Mutex<ProofStore>,
-    stats: Mutex<DaemonStats>,
+    stats: StatsCells,
     /// Cancellation tokens of in-flight searches, by job id.
     active: Mutex<HashMap<u64, CancelToken>>,
     next_job: AtomicU64,
@@ -96,6 +141,9 @@ struct Job {
     direction: Direction,
     budget: Budget,
     reply: Sender<Reply>,
+    /// `obs::time::monotonic_ns` at enqueue; the worker that dequeues the
+    /// job records the difference as `daemon.queue_wait_ns`.
+    enqueued_ns: u64,
 }
 
 /// A bound, not-yet-running `roundelimd` instance.
@@ -121,7 +169,7 @@ impl Server {
         })?;
         let shared = Arc::new(Shared {
             store: Mutex::new(store),
-            stats: Mutex::new(DaemonStats::default()),
+            stats: StatsCells::new(),
             active: Mutex::new(HashMap::new()),
             next_job: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
@@ -216,12 +264,16 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
 }
 
 /// Serves one `solve` job: store hit, or a real search followed by a
-/// durable insert.
+/// durable insert. The request is wrapped in a `daemon.request` trace
+/// span with `daemon.solve`/`daemon.encode` children, and its queue
+/// wait, solve, and encode latencies land in the `daemon.*_ns`
+/// histograms (always recorded — the `metrics` command must answer
+/// without `--profile`).
 fn run_job(shared: &Shared, job: &Job) {
-    {
-        let mut stats = shared.stats.lock().expect("stats poisoned");
-        stats.requests += 1;
-    }
+    let _request_span = obs::trace::span("daemon.request");
+    obs::metrics::histogram("daemon.queue_wait_ns")
+        .record(obs::time::monotonic_ns().saturating_sub(job.enqueued_ns));
+    shared.stats.requests.incr();
     // Cache first: an isomorphic class solved in this direction is served
     // with its stored representative and certificate, no search.
     let hit = {
@@ -231,7 +283,9 @@ fn run_job(shared: &Shared, job: &Job) {
             .map(|rec| (rec.problem.to_text(), rec.certificate.clone()))
     };
     if let Some((problem_text, cert)) = hit {
-        shared.stats.lock().expect("stats poisoned").cache_hits += 1;
+        shared.stats.cache_hits.incr();
+        let encode_span = obs::trace::span("daemon.encode");
+        let encode_watch = obs::time::Stopwatch::start();
         let line = proto::result_line(
             true,
             &problem_text,
@@ -240,10 +294,13 @@ fn run_job(shared: &Shared, job: &Job) {
             cert.incomplete,
             Some(&cert),
         );
+        obs::metrics::histogram("daemon.encode_ns").record(encode_watch.elapsed_ns());
+        drop(encode_span);
         let _ = job.reply.send(Reply::Done(line));
+        obs::trace::flush_thread();
         return;
     }
-    shared.stats.lock().expect("stats poisoned").cache_misses += 1;
+    shared.stats.cache_misses.incr();
     let mut opts = SearchOptions::default();
     job.budget.apply(&mut opts);
     let token = CancelToken::new();
@@ -255,14 +312,20 @@ fn run_job(shared: &Shared, job: &Job) {
         let tx = progress_tx.lock().expect("progress sender poisoned");
         let _ = tx.send(Reply::Progress(proto::progress_line(p)));
     }));
+    let solve_span = obs::trace::span("daemon.solve");
+    let solve_watch = obs::time::Stopwatch::start();
     let outcome = match job.direction {
         Direction::Lower => autolb(&job.problem, &opts),
         Direction::Upper => autoub(&job.problem, &opts),
     };
+    obs::metrics::histogram("daemon.solve_ns").record(solve_watch.elapsed_ns());
+    drop(solve_span);
     shared.active.lock().expect("active registry poisoned").remove(&job_id);
+    let encode_span = obs::trace::span("daemon.encode");
+    let encode_watch = obs::time::Stopwatch::start();
     let line = match outcome {
         Err(e) => {
-            shared.stats.lock().expect("stats poisoned").errors += 1;
+            shared.stats.errors.incr();
             proto::error_line(&format!("search failed: {e}"))
         }
         Ok(out) => {
@@ -274,15 +337,16 @@ fn run_job(shared: &Shared, job: &Job) {
                     store.insert(job.problem.clone(), cert.clone())
                 };
                 if let Err(e) = inserted {
-                    shared.stats.lock().expect("stats poisoned").errors += 1;
+                    shared.stats.errors.incr();
                     let _ = job.reply.send(Reply::Done(proto::error_line(&format!(
                         "proof store write failed: {e}"
                     ))));
+                    obs::trace::flush_thread();
                     return;
                 }
-                shared.stats.lock().expect("stats poisoned").solved += 1;
+                shared.stats.solved.incr();
             } else {
-                shared.stats.lock().expect("stats poisoned").inconclusive += 1;
+                shared.stats.inconclusive.incr();
             }
             proto::result_line(
                 false,
@@ -294,7 +358,12 @@ fn run_job(shared: &Shared, job: &Job) {
             )
         }
     };
+    obs::metrics::histogram("daemon.encode_ns").record(encode_watch.elapsed_ns());
+    drop(encode_span);
     let _ = job.reply.send(Reply::Done(line));
+    // Worker threads are long-lived: push this request's trace events to
+    // the sink now instead of waiting for thread exit.
+    obs::trace::flush_thread();
 }
 
 /// Writes one response line; returns whether the connection is still good.
@@ -316,7 +385,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, job_tx: &Sender<Job>) {
         let request = match proto::parse_request(&line) {
             Ok(r) => r,
             Err(msg) => {
-                shared.stats.lock().expect("stats poisoned").errors += 1;
+                shared.stats.errors.incr();
                 if send_line(&mut w, &proto::error_line(&msg)) {
                     continue;
                 }
@@ -332,10 +401,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared, job_tx: &Sender<Job>) {
                 let active = shared.active.lock().expect("active registry poisoned").len();
                 send_line(&mut w, &proto::status_line(records, classes, active, shared.workers))
             }
-            Request::Stats => {
-                let stats = *shared.stats.lock().expect("stats poisoned");
-                send_line(&mut w, &proto::stats_line(&stats))
-            }
+            Request::Stats => send_line(&mut w, &proto::stats_line(&shared.stats.snapshot())),
+            Request::Metrics => send_line(&mut w, &proto::metrics_line(&obs::metrics::snapshot())),
             Request::Shutdown => {
                 let _ = send_line(&mut w, &proto::shutdown_line());
                 shared.begin_shutdown();
@@ -359,7 +426,7 @@ fn handle_solve(
     let problem = match Problem::parse(&req.problem) {
         Ok(p) => p,
         Err(e) => {
-            shared.stats.lock().expect("stats poisoned").errors += 1;
+            shared.stats.errors.incr();
             return send_line(w, &proto::error_line(&format!("bad problem: {e}")));
         }
     };
@@ -367,7 +434,13 @@ fn handle_solve(
         return send_line(w, &proto::error_line("daemon is shutting down"));
     }
     let (tx, rx) = mpsc::channel();
-    let job = Job { problem, direction: req.direction, budget: req.budget, reply: tx };
+    let job = Job {
+        problem,
+        direction: req.direction,
+        budget: req.budget,
+        reply: tx,
+        enqueued_ns: obs::time::monotonic_ns(),
+    };
     if job_tx.send(job).is_err() {
         return send_line(w, &proto::error_line("daemon is shutting down"));
     }

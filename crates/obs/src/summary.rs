@@ -1,0 +1,428 @@
+//! Reads a recorded `roundelim-trace-v1` file back: per-span-name
+//! statistics, folded-stack output for flamegraph tooling, and the
+//! timing-stripped / structural projections the determinism tests
+//! compare.
+//!
+//! The parser targets exactly the grammar [`crate::trace`] emits (one
+//! sorted-key JSON object per line); it is not a general JSON reader —
+//! `roundelim_auto::json` cannot be used here because `obs` sits below
+//! every other workspace crate.
+
+use crate::metrics::Histogram;
+use std::collections::BTreeMap;
+
+/// One parsed trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    Enter { id: u64, parent: u64, thread: u32, name: String, value: Option<u64>, t: Option<u64> },
+    Exit { id: u64, t: Option<u64> },
+}
+
+/// A parsed trace: events in file order plus the counter trailer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+    pub counters: Vec<(String, u64)>,
+    pub dropped: u64,
+}
+
+/// Extracts the number following `"key": ` on `line`, if present.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Extracts the string following `"key": "` on `line`, if present.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    rest.split('"').next()
+}
+
+/// Parses a trace document produced by [`crate::trace`].
+///
+/// # Errors
+///
+/// Returns a description when the header is missing/mismatched or an
+/// event line is missing a required field.
+pub fn parse(text: &str) -> Result<Trace, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| "empty trace file".to_owned())?;
+    let schema = field_str(header, "schema").unwrap_or("<none>");
+    if schema != "roundelim-trace-v1" {
+        return Err(format!("unsupported trace schema {schema:?} (want roundelim-trace-v1)"));
+    }
+    let mut trace = Trace::default();
+    for (ix, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |what: &str| format!("line {}: {what}: {line}", ix + 1);
+        match field_str(line, "ev") {
+            Some("enter") => trace.events.push(TraceEvent::Enter {
+                id: field_u64(line, "id").ok_or_else(|| bad("enter without id"))?,
+                parent: field_u64(line, "par").ok_or_else(|| bad("enter without par"))?,
+                thread: u32::try_from(field_u64(line, "th").unwrap_or(0))
+                    .map_err(|_| bad("thread id overflows u32"))?,
+                name: field_str(line, "name").ok_or_else(|| bad("enter without name"))?.to_owned(),
+                value: field_u64(line, "v"),
+                t: field_u64(line, "t"),
+            }),
+            Some("exit") => trace.events.push(TraceEvent::Exit {
+                id: field_u64(line, "id").ok_or_else(|| bad("exit without id"))?,
+                t: field_u64(line, "t"),
+            }),
+            Some("counters") => {
+                // {"ev": "counters", "values": {"a.b": 1, "c.d": 2}}
+                let inner = line
+                    .split_once('{')
+                    .and_then(|(_, rest)| rest.split_once('{'))
+                    .map(|(_, inner)| inner.trim_end_matches(['}', ' ']))
+                    .ok_or_else(|| bad("counters without values object"))?;
+                for pair in inner.split(", ") {
+                    if pair.is_empty() {
+                        continue;
+                    }
+                    let (name, v) = pair.split_once("\": ").ok_or_else(|| bad("bad counter"))?;
+                    let v = v.parse::<u64>().map_err(|_| bad("bad counter value"))?;
+                    trace.counters.push((name.trim_start_matches('"').to_owned(), v));
+                }
+            }
+            Some("dropped") => {
+                trace.dropped = field_u64(line, "n").ok_or_else(|| bad("dropped without n"))?;
+            }
+            other => return Err(bad(&format!("unknown event kind {other:?}"))),
+        }
+    }
+    Ok(trace)
+}
+
+/// Removes every `"t"` timestamp field. Two traces of the same
+/// single-threaded run stripped this way are byte-identical — the
+/// determinism contract the test suite pins.
+#[must_use]
+pub fn strip_timings(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        if let Some(pos) = line.find(", \"t\": ") {
+            let rest = &line[pos + 7..];
+            let digits = rest.bytes().take_while(u8::is_ascii_digit).count();
+            out.push_str(&line[..pos]);
+            out.push_str(&rest[digits..]);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The structural projection of a trace: one line per `enter` event in
+/// file order — `depth name [v=value]` — where depth counts enclosing
+/// spans on the same thread. Together with the counter totals this is
+/// the "span tree shape" the determinism tests compare across runs.
+#[must_use]
+pub fn shape(trace: &Trace) -> Vec<String> {
+    let mut depth: BTreeMap<u64, usize> = BTreeMap::new(); // id -> depth
+    let mut out = Vec::new();
+    for ev in &trace.events {
+        if let TraceEvent::Enter { id, parent, name, value, .. } = ev {
+            let d = depth.get(parent).map_or(0, |p| p + 1);
+            depth.insert(*id, d);
+            match value {
+                Some(v) => out.push(format!("{d} {name} v={v}")),
+                None => out.push(format!("{d} {name}")),
+            }
+        }
+    }
+    out
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSummary {
+    pub name: String,
+    /// Number of `enter` events.
+    pub count: u64,
+    /// Summed wall time of closed spans, ns.
+    pub total_ns: u64,
+    pub p50_ns: u64,
+    pub p90_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+/// A whole-trace summary: per-name span statistics plus the counter
+/// trailer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Sorted by name.
+    pub spans: Vec<SpanSummary>,
+    pub counters: Vec<(String, u64)>,
+    pub total_events: u64,
+    /// Spans with no matching exit (trace finished while they were open).
+    pub unclosed: u64,
+    pub dropped: u64,
+}
+
+/// Summarizes a parsed trace: per-name counts and duration quantiles
+/// (closed spans only; timing-stripped traces summarize with zero
+/// durations but full counts).
+#[must_use]
+pub fn summarize(trace: &Trace) -> Summary {
+    let mut open: BTreeMap<u64, (usize, Option<u64>)> = BTreeMap::new(); // id -> (name ix, enter t)
+    let mut names: Vec<String> = Vec::new();
+    let mut name_ix: BTreeMap<String, usize> = BTreeMap::new();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut hists: Vec<Histogram> = Vec::new();
+    let mut unclosed = 0u64;
+    for ev in &trace.events {
+        match ev {
+            TraceEvent::Enter { id, name, t, .. } => {
+                let ix = *name_ix.entry(name.clone()).or_insert_with(|| {
+                    names.push(name.clone());
+                    counts.push(0);
+                    hists.push(Histogram::new());
+                    names.len() - 1
+                });
+                counts[ix] += 1;
+                open.insert(*id, (ix, *t));
+            }
+            TraceEvent::Exit { id, t } => {
+                if let Some((ix, entered)) = open.remove(id) {
+                    if let (Some(t0), Some(t1)) = (entered, t) {
+                        hists[ix].record(t1.saturating_sub(t0));
+                    }
+                }
+            }
+        }
+    }
+    unclosed += open.len() as u64;
+    let mut spans: Vec<SpanSummary> = names
+        .iter()
+        .enumerate()
+        .map(|(ix, name)| {
+            let s = hists[ix].snapshot();
+            SpanSummary {
+                name: name.clone(),
+                count: counts[ix],
+                total_ns: s.sum,
+                p50_ns: s.p50(),
+                p90_ns: s.p90(),
+                p99_ns: s.p99(),
+                max_ns: s.max,
+            }
+        })
+        .collect();
+    spans.sort_by(|a, b| a.name.cmp(&b.name));
+    Summary {
+        spans,
+        counters: trace.counters.clone(),
+        total_events: trace.events.len() as u64,
+        unclosed,
+        dropped: trace.dropped,
+    }
+}
+
+impl Summary {
+    /// A human-readable table (the `roundelim trace summarize` output).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} events, {} span names, {} unclosed, {} dropped",
+            self.total_events,
+            self.spans.len(),
+            self.unclosed,
+            self.dropped
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>10} {:>10} {:>10}",
+            "span", "count", "total ms", "p50 us", "p90 us", "p99 us"
+        );
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>12.3} {:>10.1} {:>10.1} {:>10.1}",
+                s.name,
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.p50_ns as f64 / 1e3,
+                s.p90_ns as f64 / 1e3,
+                s.p99_ns as f64 / 1e3,
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<36} {v:>12}");
+            }
+        }
+        out
+    }
+}
+
+/// Folds a trace into flamegraph stacks: one `root;child;leaf value`
+/// line per distinct span path, sorted, where `value` is the path's
+/// *exclusive* wall time in nanoseconds (children subtracted, clamped at
+/// zero). The output feeds `flamegraph.pl` / `inferno-flamegraph`
+/// directly. For traces without timings every path gets its enter count
+/// instead, so stripped traces still fold non-empty.
+#[must_use]
+pub fn fold(trace: &Trace) -> Vec<String> {
+    struct Node {
+        parent: u64,
+        name_ix: usize,
+        dur: Option<u64>,
+        child_ns: u64,
+    }
+    let mut names: Vec<&str> = Vec::new();
+    let mut nodes: BTreeMap<u64, Node> = BTreeMap::new();
+    let mut enter_t: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    for ev in &trace.events {
+        match ev {
+            TraceEvent::Enter { id, parent, name, t, .. } => {
+                names.push(name);
+                nodes.insert(
+                    *id,
+                    Node { parent: *parent, name_ix: names.len() - 1, dur: None, child_ns: 0 },
+                );
+                enter_t.insert(*id, *t);
+            }
+            TraceEvent::Exit { id, t } => {
+                if let (Some(Some(t0)), Some(t1)) = (enter_t.get(id), t) {
+                    let dur = t1.saturating_sub(*t0);
+                    let parent = nodes.get_mut(id).map(|n| {
+                        n.dur = Some(dur);
+                        n.parent
+                    });
+                    if let Some(p) = parent.and_then(|p| nodes.get_mut(&p)) {
+                        p.child_ns += dur;
+                    }
+                }
+            }
+        }
+    }
+    let path_of = |id: u64| -> String {
+        let mut parts = Vec::new();
+        let mut cur = id;
+        while let Some(n) = nodes.get(&cur) {
+            parts.push(names[n.name_ix]);
+            cur = n.parent;
+        }
+        parts.reverse();
+        parts.join(";")
+    };
+    let mut by_path: BTreeMap<String, u64> = BTreeMap::new();
+    let timed = nodes.values().any(|n| n.dur.is_some());
+    for (&id, node) in &nodes {
+        let value = match node.dur {
+            Some(d) => d.saturating_sub(node.child_ns),
+            None if timed => continue, // unclosed span in an otherwise timed trace
+            None => 1,                 // stripped trace: fold by count
+        };
+        if value > 0 || !timed {
+            *by_path.entry(path_of(id)).or_insert(0) += value;
+        }
+    }
+    by_path.into_iter().map(|(path, v)| format!("{path} {v}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "{\"schema\": \"roundelim-trace-v1\"}\n\
+        {\"ev\": \"enter\", \"id\": 1, \"name\": \"search.depth\", \"par\": 0, \"t\": 100, \"th\": 0, \"v\": 0}\n\
+        {\"ev\": \"enter\", \"id\": 2, \"name\": \"stage.merge\", \"par\": 1, \"t\": 200, \"th\": 0}\n\
+        {\"ev\": \"exit\", \"id\": 2, \"t\": 700}\n\
+        {\"ev\": \"enter\", \"id\": 3, \"name\": \"stage.merge\", \"par\": 1, \"t\": 800, \"th\": 0}\n\
+        {\"ev\": \"exit\", \"id\": 3, \"t\": 900}\n\
+        {\"ev\": \"exit\", \"id\": 1, \"t\": 1100}\n\
+        {\"ev\": \"counters\", \"values\": {\"cache.intern_hits\": 3, \"cache.intern_misses\": 14}}\n";
+
+    #[test]
+    fn parses_every_event_kind() {
+        let t = parse(SAMPLE).unwrap();
+        assert_eq!(t.events.len(), 6);
+        assert_eq!(
+            t.counters,
+            vec![("cache.intern_hits".to_owned(), 3), ("cache.intern_misses".to_owned(), 14)]
+        );
+        assert_eq!(t.dropped, 0);
+        assert_eq!(
+            t.events[0],
+            TraceEvent::Enter {
+                id: 1,
+                parent: 0,
+                thread: 0,
+                name: "search.depth".to_owned(),
+                value: Some(0),
+                t: Some(100),
+            }
+        );
+        assert!(parse("{\"schema\": \"something-else\"}\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn strip_timings_removes_only_timestamps_and_is_idempotent() {
+        let stripped = strip_timings(SAMPLE);
+        assert!(!stripped.contains("\"t\":"), "{stripped}");
+        assert!(stripped.contains("\"v\": 0"), "v fields survive: {stripped}");
+        assert!(stripped.contains("\"th\": 0"), "thread ids survive: {stripped}");
+        assert_eq!(strip_timings(&stripped), stripped);
+        // A stripped trace still parses and keeps its structure.
+        let t = parse(&stripped).unwrap();
+        assert_eq!(t.events.len(), 6);
+        assert_eq!(shape(&t), shape(&parse(SAMPLE).unwrap()));
+    }
+
+    #[test]
+    fn shape_reports_depth_name_and_value_in_file_order() {
+        let t = parse(SAMPLE).unwrap();
+        assert_eq!(shape(&t), vec!["0 search.depth v=0", "1 stage.merge", "1 stage.merge"]);
+    }
+
+    #[test]
+    fn summarize_aggregates_per_name_durations() {
+        let s = summarize(&parse(SAMPLE).unwrap());
+        assert_eq!(s.total_events, 6);
+        assert_eq!(s.unclosed, 0);
+        let merge = s.spans.iter().find(|x| x.name == "stage.merge").unwrap();
+        assert_eq!(merge.count, 2);
+        assert_eq!(merge.total_ns, 600); // 500 + 100
+        assert_eq!(merge.max_ns, 500);
+        let depth = s.spans.iter().find(|x| x.name == "search.depth").unwrap();
+        assert_eq!((depth.count, depth.total_ns), (1, 1000));
+        let rendered = s.render();
+        assert!(rendered.contains("stage.merge"), "{rendered}");
+        assert!(rendered.contains("cache.intern_misses"), "{rendered}");
+    }
+
+    #[test]
+    fn fold_emits_exclusive_time_stacks() {
+        let lines = fold(&parse(SAMPLE).unwrap());
+        // depth span: 1000 total - 600 in children = 400 exclusive;
+        // the two merge children aggregate on one path.
+        assert_eq!(lines, vec!["search.depth 400", "search.depth;stage.merge 600"]);
+        // A stripped trace folds by count instead of disappearing.
+        let stripped = fold(&parse(&strip_timings(SAMPLE)).unwrap());
+        assert_eq!(stripped, vec!["search.depth 1", "search.depth;stage.merge 2"]);
+    }
+
+    #[test]
+    fn unclosed_spans_are_counted_not_fatal() {
+        let text = "{\"schema\": \"roundelim-trace-v1\"}\n\
+            {\"ev\": \"enter\", \"id\": 1, \"name\": \"a\", \"par\": 0, \"t\": 1, \"th\": 0}\n";
+        let s = summarize(&parse(text).unwrap());
+        assert_eq!(s.unclosed, 1);
+        assert_eq!(s.spans[0].count, 1);
+        assert_eq!(s.spans[0].total_ns, 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Monotonic time, quarantined.
+//!
+//! This module (plus `crates/bench`) is the only place in the workspace
+//! allowed to use `std::time::Instant` directly — CI greps for violations.
+//! Funnelling every clock read through here keeps timing out of
+//! deterministic artifacts by construction: callers get opaque nanosecond
+//! deltas that only ever flow into the metrics registry or trace events.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Process-wide epoch: the first clock read wins. All [`monotonic_ns`]
+/// values are offsets from it, so timestamps within one process are
+/// mutually comparable.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process epoch (saturating at `u64::MAX`, which
+/// a monotonic clock cannot reach in practice).
+pub fn monotonic_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A started stopwatch. Replaces ad-hoc `Instant::now()` pairs in product
+/// crates; cheap to copy and to embed in long-lived structs.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Reads the clock once and starts counting.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed wall time since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX`.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_ns_never_decreases() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_measures_forward_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(sw.elapsed_ns() >= 1_000_000);
+        assert!(sw.elapsed() >= Duration::from_millis(1));
+    }
+}

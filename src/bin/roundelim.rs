@@ -13,7 +13,7 @@
 //!                  [--threads N] [--no-relax] [--cert FILE] [--json] [--profile]
 //!                  [--time-budget SECS] [--max-expansions N]
 //!                  [--checkpoint DIR] [--checkpoint-every N] [--resume]
-//!                                        automated lower-bound search
+//!                  [--trace FILE]        automated lower-bound search
 //! roundelim autolb --sweep [--json]      autolb over the registry sweep set
 //! roundelim autoub <file|family:k:Δ> [same flags as autolb]
 //!                                        automated upper-bound search (§4.5)
@@ -27,9 +27,13 @@
 //! roundelim zero-round <file|family:k:Δ> both 0-round deciders
 //! roundelim iso <fileA> <fileB>          isomorphism check
 //! roundelim relax <fileA> <fileB>        relaxation witness A ⟶ B
-//! roundelim serve --store DIR [--addr HOST:PORT] [--workers N]
+//! roundelim serve --store DIR [--addr HOST:PORT] [--workers N] [--trace FILE]
 //!                                        roundelimd: persistent proof-cache
 //!                                        service over line-JSON/TCP
+//! roundelim trace summarize <FILE> [--json]
+//!                                        per-span statistics of a recorded
+//!                                        `--trace` file (see docs/OBSERVABILITY.md)
+//! roundelim trace fold <FILE>            folded flamegraph stacks from a trace
 //! roundelim client solve <file|family:k:Δ> --addr HOST:PORT
 //!                  [--direction lower|upper] [--steps N] [--beam N]
 //!                  [--max-labels N] [--max-expansions N] [--time-budget SECS]
@@ -69,7 +73,9 @@ use roundelim::core::relax::relaxation_map;
 use roundelim::core::sequence::{iterate, iterate_relaxed, StopReason, ZeroRoundModel};
 use roundelim::core::speedup::full_step;
 use roundelim::core::zero_round::{zero_round_oriented, zero_round_pn};
+use roundelim::obs;
 use roundelim::problems::registry::{families, family, sweep_specs};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -172,14 +178,15 @@ fn usage() -> ExitCode {
          roundelim autolb <file|family:k:Δ|--sweep> [--steps N] [--beam N] \
          [--max-labels N] [--threads N] [--no-relax] [--cert FILE] [--json] [--profile] \
          [--time-budget SECS] [--max-expansions N] [--checkpoint DIR] \
-         [--checkpoint-every N] [--resume]\n  \
+         [--checkpoint-every N] [--resume] [--trace FILE]\n  \
          roundelim autoub <file|family:k:Δ> [autolb flags]\n  \
          roundelim cert verify <file> [--fast] [--json]\n  \
          roundelim sim-vs-bound [--n N] [--seed S] [--threads N] [--family NAME] \
          [--steps N] [--beam N] [--max-labels N] [--out FILE] [--json]\n  \
          roundelim zero-round <file|family:k:Δ>\n  \
          roundelim iso <fileA> <fileB>\n  roundelim relax <fileA> <fileB>\n  \
-         roundelim serve --store DIR [--addr HOST:PORT] [--workers N]\n  \
+         roundelim serve --store DIR [--addr HOST:PORT] [--workers N] [--trace FILE]\n  \
+         roundelim trace <summarize|fold> <FILE> [--json]\n  \
          roundelim client solve <file|family:k:Δ> --addr HOST:PORT \
          [--direction lower|upper] [--steps N] [--beam N] [--max-labels N] \
          [--max-expansions N] [--time-budget SECS] [--cert FILE] [--json]\n  \
@@ -233,6 +240,38 @@ fn with_profile<T>(args: &[String], f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// The trace writer handed to `obs::trace::install`: an adapter around
+/// [`atomic_write`] so a crash mid-write never leaves a truncated trace.
+fn trace_writer(path: &Path, contents: &str) -> Result<(), String> {
+    atomic_write(path, contents).map_err(|e| e.to_string())
+}
+
+/// Runs `f` with a trace sink installed when `--trace FILE` is present,
+/// finishing (rendering + atomically writing) the trace afterwards. The
+/// confirmation goes to **stderr** so stdout stays parseable under
+/// `--json`; a failed trace write turns a successful run into exit 1 but
+/// never masks `f`'s own error.
+fn with_trace(args: &[String], f: impl FnOnce() -> CliResult) -> CliResult {
+    let Some(path) = flag_value::<String>(args, "--trace")? else { return f() };
+    obs::trace::install(PathBuf::from(path), trace_writer).map_err(CliError::from)?;
+    let out = f();
+    match obs::trace::finish() {
+        Ok(written) => {
+            if let Some(p) = written {
+                eprintln!("wrote trace to {}", p.display());
+            }
+            out
+        }
+        Err(e) => match out {
+            Ok(_) => Err(CliError::from(format!("trace write failed: {e}"))),
+            Err(inner) => {
+                eprintln!("error: trace write failed: {e}");
+                Err(inner)
+            }
+        },
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };
@@ -241,15 +280,20 @@ fn main() -> ExitCode {
         "show" => cmd_show(&args[1..]),
         "speedup" => with_profile(&args[1..], || cmd_speedup(&args[1..])),
         "iterate" => cmd_iterate(&args[1..]),
-        "autolb" => with_profile(&args[1..], || cmd_auto(&args[1..], true)),
-        "autoub" => with_profile(&args[1..], || cmd_auto(&args[1..], false)),
+        "autolb" => {
+            with_trace(&args[1..], || with_profile(&args[1..], || cmd_auto(&args[1..], true)))
+        }
+        "autoub" => {
+            with_trace(&args[1..], || with_profile(&args[1..], || cmd_auto(&args[1..], false)))
+        }
         "cert" => cmd_cert(&args[1..]),
         "sim-vs-bound" => cmd_sim_vs_bound(&args[1..]),
         "zero-round" => cmd_zero_round(&args[1..]),
         "iso" => cmd_iso(&args[1..]),
         "relax" => cmd_relax(&args[1..]),
-        "serve" => cmd_serve(&args[1..]),
+        "serve" => with_trace(&args[1..], || cmd_serve(&args[1..])),
         "client" => cmd_client(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -427,6 +471,37 @@ fn outcome_code(out: &Outcome) -> u8 {
     }
 }
 
+/// The observability section of `--json` output: the process-wide metrics
+/// registry (cumulative — in `--sweep` mode each outcome reflects the
+/// registry as of its completion). Histogram latency quantiles are only
+/// populated when timing was armed (`--profile` or `--trace`); structural
+/// histograms (beam occupancy, wave sizes) and counters record always.
+fn obs_json() -> Json {
+    let snap = obs::metrics::snapshot();
+    let counters =
+        Json::Obj(snap.counters.iter().map(|(n, v)| (n.clone(), Json::Num(*v))).collect());
+    let histograms = Json::Obj(
+        snap.histograms
+            .iter()
+            .map(|(n, h)| {
+                (
+                    n.clone(),
+                    Json::obj([
+                        ("count", Json::Num(h.count)),
+                        ("sum", Json::Num(h.sum)),
+                        ("min", Json::Num(h.min)),
+                        ("max", Json::Num(h.max)),
+                        ("p50", Json::Num(h.p50())),
+                        ("p90", Json::Num(h.p90())),
+                        ("p99", Json::Num(h.p99())),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([("counters", counters), ("histograms", histograms)])
+}
+
 fn outcome_json(name: &str, out: &Outcome) -> Json {
     Json::obj([
         ("problem", Json::Str(name.to_owned())),
@@ -446,6 +521,7 @@ fn outcome_json(name: &str, out: &Outcome) -> Json {
                 ("step_hits", Json::Num(out.stats.cache.step_hits as u64)),
             ]),
         ),
+        ("obs", obs_json()),
     ])
 }
 
@@ -615,7 +691,7 @@ fn cmd_auto(args: &[String], lower: bool) -> CliResult {
 /// Whether `arg` is the value of some `--flag VALUE` pair (so positional
 /// scanning skips it).
 fn is_flag_value(args: &[String], arg: &String) -> bool {
-    const VALUED: [&str; 13] = [
+    const VALUED: [&str; 14] = [
         "--steps",
         "--beam",
         "--max-labels",
@@ -629,10 +705,66 @@ fn is_flag_value(args: &[String], arg: &String) -> bool {
         "--store",
         "--workers",
         "--direction",
+        "--trace",
     ];
     args.iter()
         .zip(args.iter().skip(1))
         .any(|(f, v)| VALUED.contains(&f.as_str()) && std::ptr::eq(v, arg))
+}
+
+/// `roundelim trace`: read back a `--trace` recording — `summarize` for
+/// per-span statistics, `fold` for flamegraph-ready folded stacks.
+fn cmd_trace(args: &[String]) -> CliResult {
+    use obs::summary;
+    let sub =
+        args.first().map(String::as_str).ok_or("trace: missing subcommand (summarize|fold)")?;
+    let path =
+        args[1..].iter().find(|a| !a.starts_with("--")).ok_or("trace: missing trace file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| usage_err(format!("{path}: {e}")))?;
+    let trace = summary::parse(&text).map_err(|e| usage_err(format!("{path}: {e}")))?;
+    match sub {
+        "summarize" => {
+            let s = summary::summarize(&trace);
+            if has_flag(args, "--json") {
+                let spans = s
+                    .spans
+                    .iter()
+                    .map(|sp| {
+                        Json::obj([
+                            ("name", Json::Str(sp.name.clone())),
+                            ("count", Json::Num(sp.count)),
+                            ("total_ns", Json::Num(sp.total_ns)),
+                            ("p50_ns", Json::Num(sp.p50_ns)),
+                            ("p90_ns", Json::Num(sp.p90_ns)),
+                            ("p99_ns", Json::Num(sp.p99_ns)),
+                            ("max_ns", Json::Num(sp.max_ns)),
+                        ])
+                    })
+                    .collect();
+                let counters =
+                    Json::Obj(s.counters.iter().map(|(n, v)| (n.clone(), Json::Num(*v))).collect());
+                let doc = Json::obj([
+                    ("spans", Json::Arr(spans)),
+                    ("counters", counters),
+                    ("total_events", Json::Num(s.total_events)),
+                    ("unclosed", Json::Num(s.unclosed)),
+                    ("dropped", Json::Num(s.dropped)),
+                ]);
+                print!("{}", doc.to_string_pretty());
+            } else {
+                print!("{}", s.render());
+            }
+        }
+        "fold" => {
+            for line in summary::fold(&trace) {
+                println!("{line}");
+            }
+        }
+        other => {
+            return Err(usage_err(format!("trace: unknown subcommand `{other}` (summarize|fold)")))
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_cert(args: &[String]) -> CliResult {

@@ -19,6 +19,10 @@
 //! * [`daemon`] — `roundelimd`, a persistent proof-cache service: solved
 //!   bounds are stored in a versioned binary encoding and served (up to
 //!   isomorphism) over a line-JSON/TCP protocol without re-searching.
+//! * [`obs`] — structured tracing and a metrics registry (counters,
+//!   latency histograms) shared by every layer: `--profile`, `--trace`,
+//!   and the daemon's `metrics` command all read it (see
+//!   docs/OBSERVABILITY.md).
 //!
 //! ## Quick start
 //!
@@ -37,6 +41,7 @@
 pub use roundelim_auto as auto;
 pub use roundelim_core as core;
 pub use roundelim_daemon as daemon;
+pub use roundelim_obs as obs;
 pub use roundelim_problems as problems;
 pub use roundelim_sim as sim;
 pub use roundelim_superweak as superweak;

@@ -220,6 +220,44 @@ fn killed_and_restarted_daemon_serves_isomorphic_hits_from_the_store() {
     d.shutdown();
 }
 
+/// The `metrics` command: after a cold solve (search) and a warm solve
+/// (cache hit), the registry counters reconcile with the per-request
+/// spans — two requests, one solve-latency sample (only the miss
+/// searched) — and the same totals appear in the Prometheus exposition.
+#[test]
+fn metrics_command_reconciles_counters_with_request_spans() {
+    let store = tmp_dir("metrics");
+    let mut d = Daemon::spawn(&store, &[]);
+
+    let cold = d.response(&solve_line(SO));
+    assert!(cold.contains("\"cached\": false"), "{cold}");
+    let warm = d.response(&solve_line(SO));
+    assert!(warm.contains("\"cached\": true"), "{warm}");
+
+    let m = d.response("{\"req\":\"metrics\"}");
+    assert!(m.contains("\"ok\": true") && m.contains("\"event\": \"metrics\""), "{m}");
+    assert!(m.contains("\"daemon.requests\": 2"), "{m}");
+    assert!(m.contains("\"daemon.cache_hits\": 1"), "{m}");
+    assert!(m.contains("\"daemon.cache_misses\": 1"), "{m}");
+    // Histogram keys render sorted (count first), so the sample counts
+    // are stable substrings: exactly the one cache miss ran a search,
+    // while both requests waited in the queue and encoded a result.
+    assert!(m.contains("\"daemon.solve_ns\": {\"count\": 1"), "{m}");
+    assert!(m.contains("\"daemon.queue_wait_ns\": {\"count\": 2"), "{m}");
+    assert!(m.contains("\"daemon.encode_ns\": {\"count\": 2"), "{m}");
+    // The Prometheus exposition reports the same totals, and quantile
+    // summaries for the solve latency.
+    assert!(m.contains("roundelim_daemon_requests 2"), "{m}");
+    assert!(m.contains("roundelim_daemon_solve_ns_count 1"), "{m}");
+    assert!(m.contains("quantile=\\\"0.99\\\""), "{m}");
+
+    // `stats` reads the same atomics: the two surfaces cannot disagree.
+    let stats = d.response("{\"req\":\"stats\"}");
+    assert!(stats.contains("\"requests\": 2"), "{stats}");
+    assert!(stats.contains("\"cache_hits\": 1"), "{stats}");
+    d.shutdown();
+}
+
 /// The store files are byte-identical whether the daemon searched with 1
 /// or 4 worker threads (search determinism reaches the persisted bytes).
 #[test]

@@ -1,0 +1,116 @@
+//! End-to-end observability tests: trace determinism across single-thread
+//! re-runs, and the `roundelim trace` read-back subcommands.
+
+use roundelim::obs::summary;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_roundelim"))
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("roundelim-obs-e2e-{tag}-{}.jsonl", std::process::id()))
+}
+
+/// Runs `autolb sinkless-orientation::3 --threads 1 --trace <path>` in a
+/// fresh process and returns the recorded trace text.
+fn record_trace(path: &PathBuf) -> String {
+    let out = cli()
+        .args(["autolb", "sinkless-orientation::3", "--threads", "1", "--trace"])
+        .arg(path)
+        .output()
+        .expect("spawn roundelim");
+    assert!(out.status.success(), "autolb failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("wrote trace to"), "missing trace confirmation: {stderr}");
+    std::fs::read_to_string(path).expect("trace file written")
+}
+
+#[test]
+fn single_thread_traces_are_deterministic_across_runs() {
+    let (path_a, path_b) = (tmp("det-a"), tmp("det-b"));
+    let (text_a, text_b) = (record_trace(&path_a), record_trace(&path_b));
+
+    // Timestamps are the only nondeterministic payload: stripped traces
+    // from two single-threaded runs must be byte-identical.
+    assert_eq!(
+        summary::strip_timings(&text_a),
+        summary::strip_timings(&text_b),
+        "timing-stripped single-thread traces must be byte-identical"
+    );
+
+    let (trace_a, trace_b) = (
+        summary::parse(&text_a).expect("trace A parses"),
+        summary::parse(&text_b).expect("trace B parses"),
+    );
+    assert!(!trace_a.events.is_empty(), "the search must record events");
+    assert_eq!(summary::shape(&trace_a), summary::shape(&trace_b), "span tree shape");
+    assert_eq!(trace_a.counters, trace_b.counters, "counter totals");
+    assert_eq!(trace_a.dropped, 0, "this search is far below the event cap");
+
+    // Single-threaded: every event on the one (first) trace thread.
+    for ev in &trace_a.events {
+        if let summary::TraceEvent::Enter { thread, .. } = ev {
+            assert_eq!(*thread, 0, "at --threads 1 all spans record on thread 0");
+        }
+    }
+
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+}
+
+#[test]
+fn trace_subcommand_summarizes_and_folds() {
+    let path = tmp("readback");
+    let text = record_trace(&path);
+
+    let summarize = cli().args(["trace", "summarize"]).arg(&path).output().expect("spawn");
+    assert!(summarize.status.success(), "{}", String::from_utf8_lossy(&summarize.stderr));
+    let table = String::from_utf8(summarize.stdout).expect("utf8");
+    assert!(table.contains("span names"), "{table}");
+    assert!(table.contains("search.depth"), "{table}");
+    assert!(table.contains("counters:"), "{table}");
+
+    let json = cli().args(["trace", "summarize", "--json"]).arg(&path).output().expect("spawn");
+    assert!(json.status.success());
+    let doc = String::from_utf8(json.stdout).expect("utf8");
+    assert!(doc.contains("\"spans\"") && doc.contains("\"total_events\""), "{doc}");
+
+    let fold = cli().args(["trace", "fold"]).arg(&path).output().expect("spawn");
+    assert!(fold.status.success(), "{}", String::from_utf8_lossy(&fold.stderr));
+    let folded = String::from_utf8(fold.stdout).expect("utf8");
+    assert!(!folded.trim().is_empty(), "folded stacks must be non-empty");
+    // Folded lines are `path;to;span value` — check one known nesting.
+    assert!(
+        folded.lines().any(|l| l.contains(';') && l.contains("search.depth")),
+        "expected nested stacks under search.depth:\n{folded}"
+    );
+    // The folded output agrees with the library fold of the same file.
+    let lib_fold = summary::fold(&summary::parse(&text).unwrap());
+    assert_eq!(folded.lines().count(), lib_fold.len());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn json_output_carries_the_obs_registry_section() {
+    let out = cli()
+        .args(["autolb", "sinkless-orientation::3", "--threads", "1", "--json"])
+        .output()
+        .expect("spawn roundelim");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = String::from_utf8(out.stdout).expect("utf8");
+    assert!(doc.contains("\"obs\""), "{doc}");
+    assert!(doc.contains("\"cache.intern_misses\""), "counters present: {doc}");
+    assert!(doc.contains("\"search.beam_occupancy\""), "histograms present: {doc}");
+}
+
+#[test]
+fn trace_subcommand_rejects_garbage() {
+    let path = tmp("garbage");
+    std::fs::write(&path, "not a trace\n").unwrap();
+    let out = cli().args(["trace", "summarize"]).arg(&path).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "bad input is a usage error");
+    let _ = std::fs::remove_file(&path);
+}
