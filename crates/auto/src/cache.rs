@@ -209,6 +209,109 @@ impl CanonCache {
         (id, back)
     }
 
+    /// Interns a whole wave of fingerprinted candidates at once, resolving
+    /// them **in parallel across fingerprint shards** and then assigning
+    /// `NodeId`s in a deterministic sequential pass in item order.
+    ///
+    /// Correctness of the sharding: [`fingerprint`] is an isomorphism
+    /// invariant, so two isomorphic candidates always carry the same
+    /// fingerprint and land in the same shard (`fp % shards`) — shard-local
+    /// dedup against the frozen pre-wave cache plus the shard's own earlier
+    /// candidates is therefore complete, and the dup/new decision for every
+    /// item is independent of both the shard count and the schedule. The
+    /// commit pass then replays exactly the sequential
+    /// [`CanonCache::intern_fingerprinted`] effects (id allocation, bucket
+    /// registration order, `cache-insert` failpoints, dedup counters) in
+    /// item order, so the resulting cache — and every id handed back — is
+    /// bit-identical to interning the items one by one on one thread.
+    ///
+    /// Return convention per item matches [`CanonCache::intern_keyed`]:
+    /// a dup hands the probe problem back (`Some`), a new class consumes
+    /// it (`None`).
+    pub fn intern_wave(
+        &mut self,
+        items: Vec<(u64, Problem)>,
+        threads: usize,
+        shards: usize,
+    ) -> Vec<(NodeId, Option<Problem>)> {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let shards = shards.max(1);
+        // Partition by fingerprint shard; item order is preserved within a
+        // shard, so each shard worker sees its items in global item order.
+        let mut split: Vec<Vec<(usize, u64, Problem)>> = (0..shards).map(|_| Vec::new()).collect();
+        for (idx, (fp, p)) in items.into_iter().enumerate() {
+            split[(fp % shards as u64) as usize].push((idx, fp, p));
+        }
+        // Phase 1 (parallel): resolve every shard against the frozen cache.
+        // Tasks own their item lists behind a claim Mutex so the problems
+        // can be moved, not cloned, into the resolution.
+        let frozen = &*self;
+        type ShardTask = Mutex<Option<Vec<(usize, u64, Problem)>>>;
+        let tasks: Vec<ShardTask> = split.into_iter().map(|list| Mutex::new(Some(list))).collect();
+        let resolved: Vec<WaveShard> = roundelim_core::par::par_map(&tasks, threads, |task| {
+            let list = task.lock().expect("shard task slot").take().expect("claimed once");
+            resolve_wave_shard(frozen, list)
+        });
+        // Phase 2 (sequential, item order): allocate ids and commit.
+        let mut per_item: Vec<Option<(usize, WaveRes)>> = (0..n).map(|_| None).collect();
+        let mut fresh: Vec<Vec<Option<(Problem, u64, CacheKey)>>> = Vec::with_capacity(shards);
+        let mut assigned: Vec<Vec<Option<NodeId>>> = Vec::with_capacity(shards);
+        for (s, shard) in resolved.into_iter().enumerate() {
+            self.stats.iso_resolutions += shard.iso_resolutions;
+            self.stats.dedup_hits += shard.dedup_hits;
+            assigned.push(vec![None; shard.fresh.len()]);
+            fresh.push(shard.fresh.into_iter().map(Some).collect());
+            for (idx, res) in shard.out {
+                per_item[idx] = Some((s, res));
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for slot in per_item {
+            let (s, res) = slot.expect("every wave item resolves");
+            match res {
+                WaveRes::Dup { id, fp, via_key, problem } => {
+                    if via_key {
+                        self.register_fp(fp, id);
+                    }
+                    out.push((id, Some(problem)));
+                }
+                WaveRes::DupFresh { f, fp, via_key, problem } => {
+                    let id = assigned[s][f].expect("fresh classes precede their dups");
+                    if via_key {
+                        self.register_fp(fp, id);
+                    }
+                    out.push((id, Some(problem)));
+                }
+                WaveRes::New { f } => {
+                    let (problem, fp, key) =
+                        fresh[s][f].take().expect("one New item per fresh class");
+                    failpoint::hit("cache-insert");
+                    let id =
+                        NodeId(u32::try_from(self.entries.len()).expect("node count fits u32"));
+                    self.ids.entry(key).or_default().push(id);
+                    self.entries.push(Entry { problem, step: None, zero_round: [None, None] });
+                    self.stats.classes += 1;
+                    self.register_fp(fp, id);
+                    assigned[s][f] = Some(id);
+                    out.push((id, None));
+                }
+            }
+        }
+        out
+    }
+
+    /// Registers `id` in the fingerprint bucket of `fp` unless already
+    /// present — the fallback registration of the fingerprinted intern path.
+    fn register_fp(&mut self, fp: u64, id: NodeId) {
+        let bucket = self.fps.entry(fp).or_default();
+        if !bucket.contains(&id) {
+            bucket.push(id);
+        }
+    }
+
     /// The representative problem of a class.
     pub fn problem(&self, id: NodeId) -> &Problem {
         &self.entries[id.index()].problem
@@ -336,6 +439,150 @@ impl CanonCache {
             cache.fps.insert(fp, ids);
         }
         Ok(cache)
+    }
+}
+
+/// Per-item resolution of a wave candidate (see [`CanonCache::intern_wave`]).
+enum WaveRes {
+    /// Isomorphic to a pre-wave class. `via_key` records that the match
+    /// came through the keyed fallback, so the commit pass must replay the
+    /// fingerprint-bucket registration the sequential path performs there.
+    Dup { id: NodeId, fp: u64, via_key: bool, problem: Problem },
+    /// Isomorphic to a class first created by an *earlier item of this
+    /// wave* (same shard by fingerprint invariance); `f` indexes the
+    /// shard's `fresh` table.
+    DupFresh { f: usize, fp: u64, via_key: bool, problem: Problem },
+    /// First representative of a brand-new class, parked in the shard's
+    /// `fresh` table until the commit pass assigns its id.
+    New { f: usize },
+}
+
+/// A resolved reference inside a shard's local indexes: either a pre-wave
+/// class or a fresh one from this wave.
+#[derive(Clone, Copy)]
+enum WaveRef {
+    Global(NodeId),
+    Fresh(usize),
+}
+
+/// The output of resolving one fingerprint shard of a wave.
+struct WaveShard {
+    /// `(global item index, resolution)` in shard (= item) order.
+    out: Vec<(usize, WaveRes)>,
+    /// Representatives of classes first seen in this wave:
+    /// `(problem, fingerprint, cache key)`, in creation order.
+    fresh: Vec<(Problem, u64, CacheKey)>,
+    /// Stat deltas, summed into [`CacheStats`] at commit (sums are
+    /// order-independent, so the totals stay deterministic).
+    iso_resolutions: usize,
+    dedup_hits: usize,
+}
+
+/// Working state of one shard's resolution: the fresh-class table plus the
+/// wave-local growth of the fingerprint and keyed indexes. Fingerprint
+/// buckets gain both fresh classes and key-path dup registrations; keyed
+/// buckets only ever gain fresh classes (a dup never extends one).
+#[derive(Default)]
+struct ShardState {
+    fresh: Vec<(Problem, u64, CacheKey)>,
+    new_fps: HashMap<u64, Vec<WaveRef>>,
+    new_keys: HashMap<CacheKey, Vec<usize>>,
+    iso_resolutions: usize,
+    dedup_hits: usize,
+}
+
+impl ShardState {
+    fn target<'a>(&'a self, cache: &'a CanonCache, r: WaveRef) -> &'a Problem {
+        match r {
+            WaveRef::Global(id) => &cache.entries[id.index()].problem,
+            WaveRef::Fresh(f) => &self.fresh[f].0,
+        }
+    }
+
+    /// Resolves one candidate, replicating the probe sequence of
+    /// [`CanonCache::intern_fingerprinted`] exactly: fingerprint bucket
+    /// first (frozen members in registration order, then this wave's),
+    /// canonical key computed only on a fingerprint miss, keyed buckets
+    /// likewise frozen-then-fresh with exact keys deduping on the first
+    /// member and coarse buckets resolved by isomorphism.
+    fn resolve(&mut self, cache: &CanonCache, fp: u64, p: Problem) -> WaveRes {
+        let frozen_fp = cache.fps.get(&fp).map(Vec::as_slice).unwrap_or_default();
+        let mut refs: Vec<WaveRef> = frozen_fp.iter().map(|&id| WaveRef::Global(id)).collect();
+        if let Some(local) = self.new_fps.get(&fp) {
+            refs.extend(local.iter().copied());
+        }
+        for r in refs {
+            self.iso_resolutions += 1;
+            let iso = {
+                let _sp = roundelim_core::profile::span(roundelim_core::profile::Stage::Canon);
+                are_isomorphic(self.target(cache, r), &p)
+            };
+            if iso {
+                self.dedup_hits += 1;
+                return match r {
+                    WaveRef::Global(id) => WaveRes::Dup { id, fp, via_key: false, problem: p },
+                    WaveRef::Fresh(f) => WaveRes::DupFresh { f, fp, via_key: false, problem: p },
+                };
+            }
+        }
+        let key = {
+            let _sp = roundelim_core::profile::span(roundelim_core::profile::Stage::Canon);
+            cache_key(&p)
+        };
+        let exact = matches!(key, CacheKey::Exact(_));
+        let frozen_key = cache.ids.get(&key).map(Vec::as_slice).unwrap_or_default();
+        let mut krefs: Vec<WaveRef> = frozen_key.iter().map(|&id| WaveRef::Global(id)).collect();
+        if let Some(local) = self.new_keys.get(&key) {
+            krefs.extend(local.iter().map(|&f| WaveRef::Fresh(f)));
+        }
+        for r in krefs {
+            let hit = exact || {
+                self.iso_resolutions += 1;
+                let _sp = roundelim_core::profile::span(roundelim_core::profile::Stage::Canon);
+                are_isomorphic(self.target(cache, r), &p)
+            };
+            if hit {
+                self.dedup_hits += 1;
+                return match r {
+                    WaveRef::Global(id) => WaveRes::Dup { id, fp, via_key: true, problem: p },
+                    WaveRef::Fresh(f) => WaveRes::DupFresh { f, fp, via_key: true, problem: p },
+                };
+            }
+        }
+        // Genuinely new class: park it; the commit pass allocates its id.
+        let f = self.fresh.len();
+        self.new_keys.entry(key.clone()).or_default().push(f);
+        self.new_fps.entry(fp).or_default().push(WaveRef::Fresh(f));
+        self.fresh.push((p, fp, key));
+        WaveRes::New { f }
+    }
+}
+
+/// Resolves one shard's candidates against the frozen pre-wave cache plus
+/// the shard's own earlier candidates (see [`ShardState::resolve`]).
+fn resolve_wave_shard(cache: &CanonCache, items: Vec<(usize, u64, Problem)>) -> WaveShard {
+    let metrics = intern_metrics();
+    let mut st = ShardState::default();
+    let mut out = Vec::with_capacity(items.len());
+    for (idx, fp, p) in items {
+        let watch = obs::armed().then(obs::time::Stopwatch::start);
+        let res = st.resolve(cache, fp, p);
+        let (count, latency) = if matches!(res, WaveRes::New { .. }) {
+            (metrics.misses, metrics.miss_ns)
+        } else {
+            (metrics.hits, metrics.hit_ns)
+        };
+        count.incr();
+        if let Some(watch) = watch {
+            latency.record(watch.elapsed_ns());
+        }
+        out.push((idx, res));
+    }
+    WaveShard {
+        out,
+        fresh: st.fresh,
+        iso_resolutions: st.iso_resolutions,
+        dedup_hits: st.dedup_hits,
     }
 }
 
@@ -518,6 +765,61 @@ mod tests {
         assert_eq!(a, b);
         assert!(back.is_some());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn wave_intern_matches_sequential_and_every_shard_count() {
+        // A wave with in-wave duplicates (renamed copies), cross-wave
+        // duplicates (classes already interned), and fresh classes. The
+        // wave interner must hand back exactly what one-at-a-time
+        // `intern_fingerprinted` does — same ids, same dup/new split, same
+        // final cache — at every thread and shard count.
+        let renamed = Problem::parse("name: r\nnode: B A A\nedge: A A | A B").unwrap();
+        let trivial = Problem::parse("name: t\nnode: X X X\nedge: X X").unwrap();
+        let two = Problem::parse("name: two\nnode: A A A | B B B\nedge: A B").unwrap();
+        let wave: Vec<Problem> =
+            vec![sc(), trivial.clone(), renamed.clone(), two.clone(), trivial, sc(), renamed, two];
+        let items = |w: &[Problem]| -> Vec<(u64, Problem)> {
+            w.iter().map(|p| (fingerprint(p), p.clone())).collect()
+        };
+
+        // Reference: sequential fingerprinted interning into a pre-seeded
+        // cache (one class interned before the wave, so frozen-vs-fresh
+        // dedup is exercised too).
+        let mut reference = CanonCache::new();
+        reference.intern_fingerprinted(fingerprint(&sc()), sc());
+        let expect: Vec<(NodeId, bool)> = {
+            let mut c = CanonCache::restore(reference.snapshot()).unwrap();
+            items(&wave)
+                .into_iter()
+                .map(|(fp, p)| {
+                    let (id, back) = c.intern_fingerprinted(fp, p);
+                    (id, back.is_none())
+                })
+                .collect()
+        };
+        for threads in [1, 2, 4] {
+            for shards in [1, 4, 64] {
+                let mut c = CanonCache::restore(reference.snapshot()).unwrap();
+                let got: Vec<(NodeId, bool)> = c
+                    .intern_wave(items(&wave), threads, shards)
+                    .into_iter()
+                    .map(|(id, back)| (id, back.is_none()))
+                    .collect();
+                // 3 classes: sc (pre-seeded), trivial, two; the other 6
+                // wave items dedup (renamed ≅ sc).
+                assert_eq!(got, expect, "threads={threads} shards={shards}");
+                assert_eq!(c.len(), 3, "threads={threads} shards={shards}");
+                assert_eq!(c.stats.classes, 3);
+                assert_eq!(c.stats.dedup_hits, 6);
+                // A later intern through either path still lands on the
+                // same classes: buckets were registered exactly as the
+                // sequential path would have.
+                let (rid, back) = c.intern_fingerprinted(fingerprint(&sc()), sc());
+                assert_eq!(rid, NodeId(0));
+                assert!(back.is_some());
+            }
+        }
     }
 
     #[test]

@@ -161,6 +161,13 @@ pub struct SearchOptions {
     pub max_labels: usize,
     /// Worker threads; 0 resolves `ROUNDELIM_THREADS` / all cores.
     pub threads: usize,
+    /// Fingerprint shards of the wave interner
+    /// ([`CanonCache::intern_wave`]); 0 resolves `ROUNDELIM_SHARDS` / 64.
+    /// The shard count is deliberately independent of the thread count, so
+    /// cache counters (and with them `SearchStats`) stay bit-identical at
+    /// every thread count. `NodeId` assignment is identical at every shard
+    /// count too (property-tested).
+    pub shards: usize,
     /// The 0-round model for goal checks.
     pub model: ZeroRoundModel,
     /// Skip sibling move candidates that a verified constraint-row
@@ -198,6 +205,7 @@ impl Default for SearchOptions {
             use_relaxations: true,
             max_labels: 12,
             threads: 0,
+            shards: 0,
             model: ZeroRoundModel::Oriented,
             prune_siblings: true,
             time_budget: None,
@@ -329,72 +337,47 @@ pub struct Outcome {
     pub stats: SearchStats,
 }
 
-/// Resolves the worker-thread count: explicit option, else the
-/// `ROUNDELIM_THREADS` environment variable, else all available cores.
-fn resolve_threads(opt: usize) -> usize {
+/// Resolves the worker-thread count through the workspace-wide convention
+/// (explicit option, else `ROUNDELIM_THREADS`, else all cores).
+use roundelim_core::par::resolve_threads;
+
+/// Default fingerprint-shard count of the wave interner. A power of two
+/// comfortably above any sane thread count: shard skew is what limits the
+/// interner's parallelism, not shard count.
+const DEFAULT_SHARDS: usize = 64;
+
+/// Resolves the wave-interner shard count: explicit option, else the
+/// `ROUNDELIM_SHARDS` environment variable, else [`DEFAULT_SHARDS`].
+/// Deliberately independent of the thread count — see
+/// [`SearchOptions::shards`].
+fn resolve_shards(opt: usize) -> usize {
     if opt > 0 {
         return opt;
     }
-    std::env::var("ROUNDELIM_THREADS")
+    std::env::var("ROUNDELIM_SHARDS")
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap_or(DEFAULT_SHARDS)
 }
 
-/// Maps `f` over contiguous chunks of `items` on scoped worker threads,
-/// returning per-item results in item order. Results are bit-identical for
-/// every thread count: only the schedule changes.
-///
-/// A panic inside `f` is captured per item: the item's slot comes back
-/// `None` and the second return value counts the panics, so one poisoned
-/// problem degrades the beam instead of aborting the search. (The panic
-/// payload is dropped; the default panic hook has already printed it.)
+/// The search's parallel map: the shared work-stealing executor
+/// ([`roundelim_core::par::par_map_catch`]) with the `worker-panic`
+/// failpoint armed per item. Results come back in item order,
+/// bit-identical for every thread count. A panic inside `f` is captured
+/// **per item** — the item's slot comes back `None` and the second return
+/// value counts the panics — so one poisoned problem degrades the beam
+/// instead of aborting the search.
 fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> (Vec<Option<R>>, usize)
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    use std::panic::{catch_unwind, AssertUnwindSafe};
-    // `f` is pure per-item work over `&T`; a panic cannot leave behind
-    // broken shared state, so the unwind-safety assertion is sound.
-    let call = |item: &T| {
-        catch_unwind(AssertUnwindSafe(|| {
-            failpoint::hit("worker-panic");
-            f(item)
-        }))
-        .ok()
-    };
-    let call = &call;
-    let out: Vec<Option<R>> = if threads <= 1 || items.len() < 2 {
-        items.iter().map(call).collect()
-    } else {
-        let chunk = items.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = items
-                .chunks(chunk)
-                .skip(1)
-                .map(|part| {
-                    (part.len(), s.spawn(move || part.iter().map(call).collect::<Vec<_>>()))
-                })
-                .collect();
-            let mut out: Vec<Option<R>> =
-                items[..chunk.min(items.len())].iter().map(call).collect();
-            for (len, h) in handles {
-                match h.join() {
-                    Ok(v) => out.extend(v),
-                    // Only reachable if the unwind escaped catch_unwind
-                    // (e.g. a panicking panic payload): count the whole
-                    // chunk as lost rather than poisoning the search.
-                    Err(_) => out.extend(std::iter::repeat_with(|| None).take(len)),
-                }
-            }
-            out
-        })
-    };
-    let panics = out.iter().filter(|r| r.is_none()).count();
-    (out, panics)
+    roundelim_core::par::par_map_catch(items, threads, |item| {
+        failpoint::hit("worker-panic");
+        f(item)
+    })
 }
 
 /// Per-node search bookkeeping, indexed by [`NodeId`] in lockstep with the
@@ -413,6 +396,7 @@ struct Search {
     meta: Vec<Meta>,
     opts: SearchOptions,
     threads: usize,
+    shards: usize,
     stats: SearchStats,
     /// Wall-clock anchor for [`SearchOptions::time_budget`] (restarts on
     /// resume: the budget is per process run, not cumulative).
@@ -452,6 +436,7 @@ impl Search {
             meta: Vec::new(),
             opts: opts.clone(),
             threads: resolve_threads(opts.threads),
+            shards: resolve_shards(opts.shards),
             stats: SearchStats::default(),
             started: obs::time::Stopwatch::start(),
             last_ckpt: None,
@@ -639,6 +624,7 @@ impl Search {
             meta,
             opts: opts.clone(),
             threads: resolve_threads(opts.threads),
+            shards: resolve_shards(opts.shards),
             stats: ck.stats,
             started: obs::time::Stopwatch::start(),
             // Nothing new since the snapshot we just loaded.
@@ -724,24 +710,6 @@ impl Search {
             debug_assert_eq!(self.meta.len(), self.cache.len());
         }
         (id, new)
-    }
-
-    /// Interns through the cache's fingerprint index (no canonical key on
-    /// dedup); hands the problem back on dedup, exactly like
-    /// [`CanonCache::intern_fingerprinted`].
-    fn intern_fp(
-        &mut self,
-        p: Problem,
-        fp: u64,
-        parent: Option<(NodeId, Edge)>,
-        depth: usize,
-    ) -> (NodeId, Option<Problem>) {
-        let (id, back) = self.cache.intern_fingerprinted(fp, p);
-        if back.is_none() {
-            self.meta.push(Meta { depth, parent });
-            debug_assert_eq!(self.meta.len(), self.cache.len());
-        }
-        (id, back)
     }
 
     /// Problems above this label count are not interned at all: they are
@@ -836,10 +804,10 @@ impl Search {
             }
             // Generate candidates (and their invariant fingerprints) in
             // parallel; the per-candidate work is pure. Canonical keys are
-            // *not* computed here: the fold interns through the fingerprint
-            // index, which resolves re-derived classes with one short
-            // isomorphism check and computes a canonical key only for
-            // genuinely new classes.
+            // *not* computed here: the wave interner resolves re-derived
+            // classes with one short isomorphism check in its parallel
+            // shard phase and computes a canonical key (also on workers)
+            // only for genuinely new classes.
             let sources: Vec<(NodeId, Problem)> =
                 wave.iter().map(|&n| (n, self.cache.problem(n).clone())).collect();
             let cap = self.intern_cap();
@@ -878,9 +846,15 @@ impl Search {
                         })
                         .collect()
                 });
-            // Fold into the cache sequentially, in item order.
+            // Flatten the surviving candidates in item order and resolve
+            // the whole wave against the sharded cache at once: dedup runs
+            // in parallel across fingerprint shards, then `NodeId`s are
+            // assigned in a deterministic sequential pass in the same item
+            // order the old one-at-a-time fold used — ids, buckets, and
+            // counters are bit-identical to it at every thread count.
             self.stats.worker_panics += panics;
-            let mut next_wave = Vec::new();
+            let mut flat: Vec<(u64, Problem)> = Vec::new();
+            let mut origin: Vec<(NodeId, Edge)> = Vec::new();
             for ((n, _), list) in sources.iter().zip(cands) {
                 // A captured worker panic loses this source's candidates;
                 // the closure continues with everyone else's.
@@ -892,35 +866,47 @@ impl Search {
                         Direction::Lower => Edge::Relax { map },
                         Direction::Upper => Edge::Harden { map },
                     };
-                    let (c, returned) = self.intern_fp(result, fp, Some((*n, edge.clone())), depth);
-                    match returned {
-                        None => {
-                            // A new class: goal-check it, else it joins the
-                            // pool and the next wave.
-                            if self.zero(c) {
-                                goals.push(c);
-                            } else {
-                                pool.push(c);
-                                next_wave.push(c);
-                            }
+                    origin.push((*n, edge));
+                    flat.push((fp, result));
+                }
+            }
+            let resolved = self.cache.intern_wave(flat, self.threads, self.shards);
+            let mut next_wave = Vec::new();
+            let mut hit: Option<CycleHit> = None;
+            for ((n, edge), (c, returned)) in origin.into_iter().zip(resolved) {
+                match returned {
+                    None => {
+                        // A new class: goal-check it, else it joins the
+                        // pool and the next wave.
+                        // The wave's classes were already committed in item
+                        // order, so the k-th new item here carries the k-th
+                        // freshly assigned id — meta stays in id lockstep.
+                        self.meta.push(Meta { depth, parent: Some((n, edge)) });
+                        debug_assert_eq!(self.meta.len(), c.index() + 1);
+                        if self.zero(c) {
+                            goals.push(c);
+                        } else {
+                            pool.push(c);
+                            next_wave.push(c);
                         }
-                        Some(result) => {
-                            if detect_cycles
-                                && self.is_ancestor(c, *n)
-                                && self.meta[n.index()].depth > self.meta[c.index()].depth
-                            {
-                                // A sideways edge closing onto an ancestor
-                                // with at least one step edge in between.
-                                return Some(CycleHit {
-                                    from: *n,
-                                    edge,
-                                    problem: result,
-                                    back_to: c,
-                                });
-                            }
+                    }
+                    Some(result) => {
+                        if hit.is_none()
+                            && detect_cycles
+                            && self.is_ancestor(c, n)
+                            && self.meta[n.index()].depth > self.meta[c.index()].depth
+                        {
+                            // A sideways edge closing onto an ancestor with
+                            // at least one step edge in between. Keep
+                            // scanning so the wave commits whole (the first
+                            // hit in item order is returned either way).
+                            hit = Some(CycleHit { from: n, edge, problem: result, back_to: c });
                         }
                     }
                 }
+            }
+            if hit.is_some() {
+                return hit;
             }
             // Keep the wave (and the per-depth pool) bounded: relaxation
             // chains strictly shrink the alphabet, so this terminates, but
@@ -1376,13 +1362,39 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_the_outcome() {
+        // Verdict, certificate, AND every effort counter must be
+        // bit-identical at every thread count: the executor only changes
+        // the schedule, the sharded wave interner assigns ids in item
+        // order, and the shard count is fixed independently of `threads`.
         let base =
             autolb(&so3(), &SearchOptions { threads: 1, ..SearchOptions::default() }).unwrap();
-        for threads in [2, 3, 8] {
+        for threads in [2, 3, 4, 7, 8] {
             let out =
                 autolb(&so3(), &SearchOptions { threads, ..SearchOptions::default() }).unwrap();
             assert_eq!(out.verdict, base.verdict, "threads={threads}");
             assert_eq!(out.certificate, base.certificate, "threads={threads}");
+            assert_eq!(out.stats, base.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_outcome() {
+        // Isomorphic candidates always share a fingerprint, hence a shard:
+        // dedup decisions — and with them every `NodeId` assignment, the
+        // verdict, and the certificate — are shard-count-invariant.
+        let mm = roundelim_problems::matching::maximal_matching(3).unwrap();
+        let opts = SearchOptions {
+            max_steps: 6,
+            beam_width: 6,
+            max_labels: 10,
+            threads: 2,
+            ..SearchOptions::default()
+        };
+        let base = autolb(&mm, &SearchOptions { shards: 1, ..opts.clone() }).unwrap();
+        for shards in [4, 64] {
+            let out = autolb(&mm, &SearchOptions { shards, ..opts.clone() }).unwrap();
+            assert_eq!(out.verdict, base.verdict, "shards={shards}");
+            assert_eq!(out.certificate, base.certificate, "shards={shards}");
         }
     }
 

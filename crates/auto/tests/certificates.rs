@@ -154,13 +154,29 @@ proptest! {
         }
     }
 
-    /// The search verdict and certificate are identical for every worker
-    /// thread count (the determinism contract of the parallel stages).
+    /// The search verdict, certificate, and every effort counter are
+    /// identical for every worker thread count (the determinism contract
+    /// of the executor and the sharded wave interner).
     #[test]
     fn search_is_thread_count_invariant(p in arb_problem()) {
         let base = autolb(&p, &small_budget()).unwrap();
-        for threads in [2usize, 5] {
+        for threads in [2usize, 4, 7] {
             let opts = SearchOptions { threads, ..small_budget() };
+            let out = autolb(&p, &opts).unwrap();
+            prop_assert_eq!(&out.verdict, &base.verdict);
+            prop_assert_eq!(&out.certificate, &base.certificate);
+            prop_assert_eq!(&out.stats, &base.stats);
+        }
+    }
+
+    /// `NodeId` assignment — and with it the verdict and certificate — is
+    /// identical at every wave-interner shard count (isomorphic candidates
+    /// share a fingerprint, hence a shard, so dedup is shard-invariant).
+    #[test]
+    fn search_is_shard_count_invariant(p in arb_problem()) {
+        let base = autolb(&p, &SearchOptions { shards: 1, threads: 2, ..small_budget() }).unwrap();
+        for shards in [4usize, 64] {
+            let opts = SearchOptions { shards, threads: 2, ..small_budget() };
             let out = autolb(&p, &opts).unwrap();
             prop_assert_eq!(&out.verdict, &base.verdict);
             prop_assert_eq!(&out.certificate, &base.certificate);

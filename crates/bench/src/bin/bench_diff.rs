@@ -53,6 +53,12 @@ fn main() -> ExitCode {
             for line in &report.new_cases {
                 println!("(new) {line}");
             }
+            if !report.scaling.is_empty() {
+                println!("THREAD SCALING (current run):");
+                for line in &report.scaling {
+                    println!("  {line}");
+                }
+            }
             if !report.improvements.is_empty() {
                 println!("IMPROVEMENTS past {threshold}x:");
                 for line in &report.improvements {

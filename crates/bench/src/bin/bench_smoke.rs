@@ -154,6 +154,20 @@ fn main() {
         black_box(out);
     });
 
+    // The same acceptance search across worker-thread counts (param =
+    // thread count). The family's `_threads` suffix tells bench_diff to
+    // print the speedup curve relative to the 1-thread median; the
+    // 4-thread entry is the scaling acceptance number (≥2× over 1 thread
+    // on a 4-core box). Thread counts above the host's core count would
+    // only measure oversubscription noise, so the sweep stops at 4.
+    for threads in [1usize, 2, 4] {
+        let opts = SearchOptions { threads, ..c33_opts.clone() };
+        case(&mut results, "A4_autolb_threads", threads, || {
+            let out = autolb(&c33, &opts).expect("search succeeds");
+            black_box(out);
+        });
+    }
+
     // The roundelimd proof cache: param 0 (cold) is the full coloring:3:3
     // search at the same budget as A2; param 1 (warm) is the same verdict
     // served from a populated proof store — a canonical-form lookup plus

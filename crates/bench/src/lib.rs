@@ -90,6 +90,13 @@ pub struct DiffReport {
     /// A silently dropped benchmark must fail the run — otherwise removing
     /// a family would pass CI while losing its perf coverage.
     pub missing: Vec<String>,
+    /// Thread-scaling curves from the *current* document: for every family
+    /// named `*_threads` the parameter is a worker-thread count, and each
+    /// line reports the speedup of the N-thread median over the 1-thread
+    /// median from the same run. Informational (machine-local by nature);
+    /// cross-run regressions on these cases are still gated per
+    /// `(family, param)` like everything else.
+    pub scaling: Vec<String>,
 }
 
 /// Parses a `BENCH_speedup.json` document into `(family, param) → median_ns`.
@@ -155,7 +162,35 @@ pub fn diff_benchmarks(
             report.missing.push(format!("{family}/{param}: missing (baseline had {base_ns} ns)"));
         }
     }
+    report.scaling = scaling_lines(&cur);
     Ok(report)
+}
+
+/// Renders the thread-scaling curve of every `*_threads` family in a
+/// parsed document: `family: 1→N threads R.RRx` per measured thread count
+/// above 1, relative to the same family's 1-thread median. A `*_threads`
+/// family without a 1-thread anchor yields a diagnostic line instead of a
+/// silently absent curve.
+fn scaling_lines(results: &[(String, u64, u64)]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for (family, _, _) in results {
+        if !family.ends_with("_threads") || seen.contains(&family.as_str()) {
+            continue;
+        }
+        seen.push(family);
+        let Some((_, _, base_ns)) = results.iter().find(|(f, p, _)| f == family && *p == 1) else {
+            out.push(format!("{family}: no 1-thread anchor, cannot compute speedups"));
+            continue;
+        };
+        for (f, threads, ns) in results {
+            if f == family && *threads > 1 {
+                let speedup = *base_ns as f64 / (*ns).max(1) as f64;
+                out.push(format!("{family}: 1→{threads} threads {speedup:.2}x speedup"));
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -224,6 +259,51 @@ mod tests {
         // A 1.2x improvement is inside the threshold band: not reported.
         let quiet = diff_benchmarks(&mk(12_000), &mk(10_000), 1.5).unwrap();
         assert!(quiet.improvements.is_empty());
+    }
+
+    #[test]
+    fn diff_reports_thread_scaling_curves() {
+        let mk = |n1: u64, n2: u64, n4: u64| {
+            to_json(&[
+                Measurement {
+                    family: "A4_autolb_threads".into(),
+                    param: 1,
+                    median_ns: n1,
+                    iters: 3,
+                },
+                Measurement {
+                    family: "A4_autolb_threads".into(),
+                    param: 2,
+                    median_ns: n2,
+                    iters: 3,
+                },
+                Measurement {
+                    family: "A4_autolb_threads".into(),
+                    param: 4,
+                    median_ns: n4,
+                    iters: 3,
+                },
+                Measurement { family: "E1".into(), param: 3, median_ns: 10_000, iters: 3 },
+            ])
+        };
+        let doc = mk(1_000_000, 550_000, 400_000);
+        let report = diff_benchmarks(&doc, &doc, 1.5).unwrap();
+        // Curve comes from the current document only; non-`_threads`
+        // families contribute nothing.
+        assert_eq!(report.scaling.len(), 2, "{:?}", report.scaling);
+        assert!(report.scaling[0].contains("1→2 threads 1.82x"), "{:?}", report.scaling);
+        assert!(report.scaling[1].contains("1→4 threads 2.50x"), "{:?}", report.scaling);
+        assert!(report.regressions.is_empty());
+        // A `_threads` family without a 1-thread anchor is called out.
+        let orphan = to_json(&[Measurement {
+            family: "A4_autolb_threads".into(),
+            param: 4,
+            median_ns: 400_000,
+            iters: 3,
+        }]);
+        let report = diff_benchmarks(&orphan, &orphan, 1.5).unwrap();
+        assert_eq!(report.scaling.len(), 1);
+        assert!(report.scaling[0].contains("no 1-thread anchor"), "{:?}", report.scaling);
     }
 
     #[test]

@@ -401,35 +401,37 @@ fn close_line_full(
     line.sort_unstable();
 }
 
-/// Number of worker threads [`maximal_good_lines`] uses: the
-/// `ROUNDELIM_THREADS` environment variable if set, else the machine's
-/// available parallelism. Resolved once per process (the environment probe
-/// and `available_parallelism` syscall cost more than a small closure).
+/// Number of worker threads [`maximal_good_lines`] uses: the workspace
+/// convention ([`crate::par::resolve_threads`]). Resolved once per process
+/// (the environment probe and `available_parallelism` syscall cost more
+/// than a small closure).
 fn default_threads() -> usize {
     static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::env::var("ROUNDELIM_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-    })
+    *THREADS.get_or_init(|| crate::par::resolve_threads(0))
 }
 
 /// Below this many work items a stage runs inline: spawning costs more
 /// than the work it would offload.
 const PAR_MIN_ITEMS: usize = 16;
 
-/// Maps `f` over at most `threads` contiguous chunks of `items` (scoped
-/// threads), returning chunk results in chunk order. Chunk boundaries are
+/// Chunks cut per worker by [`par_chunks`]. Oversubscribing the executor
+/// lets stealing — not the weight model — absorb mispredicted chunk
+/// costs: a worker that drains its own chunks early steals the
+/// stragglers' queue instead of idling at the round barrier.
+const OVERSUB: usize = 4;
+
+/// Maps `f` over contiguous chunks of `items` on the shared work-stealing
+/// executor ([`crate::par::par_map`]), returning chunk results in chunk
+/// order. About [`OVERSUB`] chunks are cut per worker, with boundaries
 /// balanced by `weight(index)` — stage 1's per-item cost falls roughly
 /// linearly with the batch index (item `i` merges only against later
-/// items), so equal-size chunks would make the first worker the straggler
-/// every round. Boundaries are a pure function of `(items.len(), threads,
-/// weight)`; callers that consume results in order and emit per item in
-/// item order stay deterministic for every thread count. `min_items` is
-/// the inline-run threshold ([`PAR_MIN_ITEMS`] in production; tests lower
-/// it to force the chunked path onto small inputs).
+/// items), so equal-size chunks would skew badly. Boundaries are a pure
+/// function of `(items.len(), threads, weight)`; callers that consume
+/// results in order and emit per item in item order stay deterministic
+/// for every thread count (and in fact for arbitrary boundaries —
+/// property-tested). `min_items` is the inline-run threshold
+/// ([`PAR_MIN_ITEMS`] in production; tests lower it to force the chunked
+/// path onto small inputs).
 fn par_chunks<T, R, F, W>(items: &[T], threads: usize, min_items: usize, weight: W, f: F) -> Vec<R>
 where
     T: Sync,
@@ -440,36 +442,24 @@ where
     if threads <= 1 || items.len() < min_items.max(2) {
         return vec![f(items)];
     }
-    // Greedy contiguous partition into ≤ `threads` weight-balanced chunks.
+    // Greedy contiguous partition into ≤ `threads * OVERSUB` weight-
+    // balanced chunks.
+    let chunks = threads * OVERSUB;
     let total: u64 = (0..items.len()).map(&weight).sum();
-    let target = total.div_ceil(threads as u64).max(1);
-    let mut bounds: Vec<usize> = Vec::with_capacity(threads + 1);
+    let target = total.div_ceil(chunks as u64).max(1);
+    let mut bounds: Vec<usize> = Vec::with_capacity(chunks + 1);
     bounds.push(0);
     let mut acc = 0u64;
     for i in 0..items.len() {
         acc += weight(i);
-        if acc >= target && bounds.len() < threads && i + 1 < items.len() {
+        if acc >= target && bounds.len() < chunks && i + 1 < items.len() {
             bounds.push(i + 1);
             acc = 0;
         }
     }
     bounds.push(items.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = bounds
-            .windows(2)
-            .skip(1)
-            .map(|w| {
-                let part = &items[w[0]..w[1]];
-                s.spawn(|| f(part))
-            })
-            .collect();
-        let mut out = Vec::with_capacity(handles.len() + 1);
-        out.push(f(&items[..bounds[1]]));
-        for h in handles {
-            out.push(h.join().expect("merge-closure worker panicked"));
-        }
-        out
-    })
+    let parts: Vec<&[T]> = bounds.windows(2).map(|w| &items[w[0]..w[1]]).collect();
+    crate::par::par_map(&parts, threads, |part: &&[T]| f(part))
 }
 
 /// Enumerates all ⊆-maximal good lines of `c` (the simplified universal

@@ -34,8 +34,12 @@ pub struct ServeConfig {
     /// Directory holding the proof store and its sidecar.
     pub store_dir: PathBuf,
     /// Search worker threads (`0` means 2). Each worker runs one search at
-    /// a time; the search's own parallelism is `ROUNDELIM_THREADS`.
+    /// a time; `threads` sets each search's own parallelism.
     pub workers: usize,
+    /// Per-job search thread budget, handed to every search through the
+    /// same [`SearchOptions::threads`] path the CLI uses (`0` resolves the
+    /// workspace convention: `ROUNDELIM_THREADS`, else all cores).
+    pub threads: usize,
     /// External shutdown probe (e.g. a SIGTERM/SIGINT flag), polled by the
     /// accept loop. Firing takes the same graceful path as a `shutdown`
     /// request.
@@ -46,7 +50,13 @@ impl ServeConfig {
     /// A config with the given address and store directory, default pool,
     /// no signal probe.
     pub fn new(addr: impl Into<String>, store_dir: impl Into<PathBuf>) -> ServeConfig {
-        ServeConfig { addr: addr.into(), store_dir: store_dir.into(), workers: 0, signal: None }
+        ServeConfig {
+            addr: addr.into(),
+            store_dir: store_dir.into(),
+            workers: 0,
+            threads: 0,
+            signal: None,
+        }
     }
 }
 
@@ -112,6 +122,8 @@ struct Shared {
     next_job: AtomicU64,
     shutdown: AtomicBool,
     workers: usize,
+    /// Per-job search thread budget (see [`ServeConfig::threads`]).
+    search_threads: usize,
 }
 
 impl Shared {
@@ -174,6 +186,7 @@ impl Server {
             next_job: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             workers: if cfg.workers == 0 { 2 } else { cfg.workers },
+            search_threads: cfg.threads,
         });
         Ok(Server { listener, shared, signal: cfg.signal })
     }
@@ -303,6 +316,7 @@ fn run_job(shared: &Shared, job: &Job) {
     shared.stats.cache_misses.incr();
     let mut opts = SearchOptions::default();
     job.budget.apply(&mut opts);
+    opts.threads = shared.search_threads;
     let token = CancelToken::new();
     let job_id = shared.next_job.fetch_add(1, Ordering::SeqCst);
     shared.active.lock().expect("active registry poisoned").insert(job_id, token.clone());

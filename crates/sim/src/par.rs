@@ -1,31 +1,30 @@
-//! Scoped-thread helpers for deterministic data parallelism.
+//! Deterministic data parallelism for the simulator, on the workspace's
+//! shared work-stealing executor ([`roundelim_core::par`]).
 //!
 //! Everything here computes a pure function of its inputs: work is split
-//! into contiguous chunks under [`std::thread::scope`] and results are
-//! consumed in item order, so outputs are **bit-identical for every
-//! thread count** — the same discipline the bound engine's closure uses.
-//! The `threads` argument follows the engine convention: `0` resolves the
+//! into contiguous chunks run as executor tasks and results are consumed
+//! in item order, so outputs are **bit-identical for every thread
+//! count** — the same discipline the bound engine's closure uses. The
+//! `threads` argument follows the engine convention: `0` resolves the
 //! `ROUNDELIM_THREADS` environment variable, else all available cores.
 
-/// Resolves a worker-thread count: explicit option, else the
-/// `ROUNDELIM_THREADS` environment variable, else all available cores.
-pub fn resolve_threads(opt: usize) -> usize {
-    if opt > 0 {
-        return opt;
-    }
-    std::env::var("ROUNDELIM_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-}
+use std::sync::Mutex;
+
+/// Resolves a worker-thread count through the workspace-wide convention:
+/// explicit option, else `ROUNDELIM_THREADS`, else all available cores.
+pub use roundelim_core::par::resolve_threads;
 
 /// Below this many work items a stage runs inline: spawning costs more
 /// than the work it would offload.
 const PAR_MIN_ITEMS: usize = 4096;
 
+/// Chunks cut per worker: oversubscribing the executor lets stealing
+/// absorb per-chunk cost skew (e.g. high-degree regions of a graph).
+const OVERSUB: usize = 4;
+
 /// Builds `vec![f(0), f(1), …, f(len - 1)]`, computing disjoint contiguous
-/// chunks on worker threads. The result depends only on `f` and `len`.
+/// chunks in place on executor workers. The result depends only on `f`
+/// and `len`.
 pub fn fill_indexed<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send + Clone + Default,
@@ -39,18 +38,23 @@ where
         }
         return out;
     }
-    let chunk = len.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (ci, part) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            s.spawn(move || {
-                let base = ci * chunk;
-                for (j, slot) in part.iter_mut().enumerate() {
-                    *slot = f(base + j);
-                }
-            });
-        }
-    });
+    let chunk = len.div_ceil(threads * OVERSUB).max(1);
+    {
+        // Disjoint &mut chunks behind per-task Mutexes, claimed by index —
+        // the executor's in-place pattern.
+        type Task<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+        let tasks: Vec<Task<T>> = out
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, part)| Mutex::new(Some((ci * chunk, part))))
+            .collect();
+        roundelim_core::par::par_for_each_index(tasks.len(), threads, |i| {
+            let (base, part) = tasks[i].lock().expect("chunk slot").take().expect("claimed once");
+            for (j, slot) in part.iter_mut().enumerate() {
+                *slot = f(base + j);
+            }
+        });
+    }
     out
 }
 
@@ -66,25 +70,12 @@ where
     if threads == 1 || count < 2 {
         return (0..count).map(f).collect();
     }
-    let per = count.div_ceil(threads);
-    std::thread::scope(|s| {
-        let f = &f;
-        let handles: Vec<_> = (1..threads)
-            .filter_map(|t| {
-                let lo = t * per;
-                if lo >= count {
-                    return None;
-                }
-                let hi = ((t + 1) * per).min(count);
-                Some(s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>()))
-            })
-            .collect();
-        let mut out: Vec<R> = (0..per.min(count)).map(f).collect();
-        for h in handles {
-            out.extend(h.join().expect("sim worker panicked"));
-        }
-        out
-    })
+    let per = count.div_ceil(threads * OVERSUB).max(1);
+    let ranges: Vec<(usize, usize)> =
+        (0..count.div_ceil(per)).map(|c| (c * per, ((c + 1) * per).min(count))).collect();
+    let chunks: Vec<Vec<R>> =
+        roundelim_core::par::par_map(&ranges, threads, |&(lo, hi)| (lo..hi).map(&f).collect());
+    chunks.into_iter().flatten().collect()
 }
 
 /// Sorts key/value pairs: parallel chunk sorts followed by a sequential
@@ -97,11 +88,13 @@ pub fn sort_pairs(mut v: Vec<(u64, u32)>, threads: usize) -> Vec<(u64, u32)> {
         return v;
     }
     let chunk = v.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        for part in v.chunks_mut(chunk) {
-            s.spawn(move || part.sort_unstable());
-        }
-    });
+    {
+        type Task<'a> = Mutex<Option<&'a mut [(u64, u32)]>>;
+        let tasks: Vec<Task> = v.chunks_mut(chunk).map(|part| Mutex::new(Some(part))).collect();
+        roundelim_core::par::par_for_each_index(tasks.len(), threads, |i| {
+            tasks[i].lock().expect("chunk slot").take().expect("claimed once").sort_unstable();
+        });
+    }
     // k-way merge of the sorted runs (k = threads, so the linear scan per
     // output element is cheap).
     let runs: Vec<&[(u64, u32)]> = v.chunks(chunk).collect();

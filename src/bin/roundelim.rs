@@ -27,7 +27,7 @@
 //! roundelim zero-round <file|family:k:Δ> both 0-round deciders
 //! roundelim iso <fileA> <fileB>          isomorphism check
 //! roundelim relax <fileA> <fileB>        relaxation witness A ⟶ B
-//! roundelim serve --store DIR [--addr HOST:PORT] [--workers N] [--trace FILE]
+//! roundelim serve --store DIR [--addr HOST:PORT] [--workers N] [--threads N] [--trace FILE]
 //!                                        roundelimd: persistent proof-cache
 //!                                        service over line-JSON/TCP
 //! roundelim trace summarize <FILE> [--json]
@@ -185,7 +185,7 @@ fn usage() -> ExitCode {
          [--steps N] [--beam N] [--max-labels N] [--out FILE] [--json]\n  \
          roundelim zero-round <file|family:k:Δ>\n  \
          roundelim iso <fileA> <fileB>\n  roundelim relax <fileA> <fileB>\n  \
-         roundelim serve --store DIR [--addr HOST:PORT] [--workers N] [--trace FILE]\n  \
+         roundelim serve --store DIR [--addr HOST:PORT] [--workers N] [--threads N] [--trace FILE]\n  \
          roundelim trace <summarize|fold> <FILE> [--json]\n  \
          roundelim client solve <file|family:k:Δ> --addr HOST:PORT \
          [--direction lower|upper] [--steps N] [--beam N] [--max-labels N] \
@@ -941,6 +941,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let mut cfg = ServeConfig::new(addr, store);
     if let Some(w) = flag_value(args, "--workers")? {
         cfg.workers = w;
+    }
+    if let Some(t) = flag_value(args, "--threads")? {
+        cfg.threads = t;
     }
     sig::install();
     cfg.signal = Some(sig::fired);

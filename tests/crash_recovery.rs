@@ -239,16 +239,21 @@ fn corrupted_snapshot_is_rejected_on_resume() {
 /// One poisoned worker must degrade the beam, not abort the search: the
 /// `worker-panic` failpoint blows up exactly one work item, the search
 /// completes, reports the capture, and still exits 0 with a verdict.
+/// Run at several thread counts — the executor captures panics **per
+/// item** (exactly one `worker_panics`, never a whole chunk of them), and
+/// stealing must drain the panicked worker's remaining range.
 #[test]
 fn a_worker_panic_degrades_the_search_instead_of_aborting_it() {
-    let out = cli()
-        .args(["autolb", "coloring:3:2", "--steps", "6", "--beam", "6", "--max-labels", "10"])
-        .args(["--threads", "2", "--json"])
-        .env("ROUNDELIM_FAILPOINTS", "worker-panic=panic@1")
-        .output()
-        .unwrap();
-    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("\"worker_panics\": 1"), "{stdout}");
-    assert!(stdout.contains("\"verdict\""), "{stdout}");
+    for threads in ["2", "4"] {
+        let out = cli()
+            .args(["autolb", "coloring:3:2", "--steps", "6", "--beam", "6", "--max-labels", "10"])
+            .args(["--threads", threads, "--json"])
+            .env("ROUNDELIM_FAILPOINTS", "worker-panic=panic@1")
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("\"worker_panics\": 1"), "threads={threads}: {stdout}");
+        assert!(stdout.contains("\"verdict\""), "threads={threads}: {stdout}");
+    }
 }
